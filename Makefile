@@ -1,0 +1,46 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet race bench repro examples libdoc clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure, table and ablation from the paper.
+repro:
+	$(GO) run ./cmd/repro
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/vqdecoder
+	$(GO) run ./examples/infopad
+	$(GO) run ./examples/sorting
+	$(GO) run ./examples/remotelib
+	$(GO) run ./examples/archscale
+
+# Regenerate the library reference.
+libdoc:
+	$(GO) run ./cmd/ppcli libdoc > LIBRARY.md
+
+# The final-deliverable logs.
+outputs:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,103 @@
+// Command powerplay serves the PowerPlay web application: the
+// spreadsheet-like power exploration environment accessible from any
+// browser, plus the HTTP model-sharing API for remote sites.
+//
+//	powerplay -addr :8096 -data ./powerplay-data
+//	powerplay -password sekrit                 # restricted site
+//	powerplay -mount http://other.site=their   # mount a remote library
+//	powerplay -seed                            # preload the paper's designs
+//
+// With -seed, the Luminance_1/Luminance_2 sheets (Figures 1-3) and the
+// InfoPad system sheet (Figure 5) are installed for the "demo" user.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"powerplay/internal/core/sheet"
+	"powerplay/internal/infopad"
+	"powerplay/internal/library"
+	"powerplay/internal/vqsim"
+	"powerplay/internal/web"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8096", "listen address")
+	data := flag.String("data", "", "state directory (empty = in-memory only)")
+	password := flag.String("password", "", "site password (empty = open site)")
+	siteName := flag.String("site", "PowerPlay", "site name shown on pages")
+	seed := flag.Bool("seed", false, "preload the paper's example designs for user 'demo'")
+	var mounts multiFlag
+	flag.Var(&mounts, "mount", "remote library to mount, url=prefix (repeatable)")
+	flag.Parse()
+
+	reg := library.Standard()
+	for _, m := range mounts {
+		url, prefix, ok := strings.Cut(m, "=")
+		if !ok {
+			log.Fatalf("powerplay: -mount wants url=prefix, got %q", m)
+		}
+		n, err := web.Mount(reg, &web.Remote{BaseURL: url, Key: *password}, prefix)
+		if err != nil {
+			log.Fatalf("powerplay: mounting %s: %v", url, err)
+		}
+		log.Printf("mounted %d models from %s under %q", n, url, prefix)
+	}
+
+	srv, err := web.NewServer(web.Config{
+		SiteName: *siteName, DataDir: *data, Password: *password,
+	}, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *seed {
+		if err := seedDesigns(srv); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("seeded the paper's designs for user %q", "demo")
+	}
+	log.Printf("%s listening on http://%s", *siteName, *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// seedDesigns installs the paper's three example sheets for a demo user.
+func seedDesigns(srv *web.Server) error {
+	reg := srv.Registry()
+	var designs []*sheet.Design
+	d1, err := vqsim.Luminance1(reg)
+	if err != nil {
+		return err
+	}
+	d2, err := vqsim.Luminance2(reg)
+	if err != nil {
+		return err
+	}
+	d3, err := infopad.Build(reg)
+	if err != nil {
+		return err
+	}
+	designs = append(designs, d1, d2, d3)
+	for _, d := range designs {
+		if err := srv.InstallDesign("demo", d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+
+	"powerplay/internal/library"
+	"powerplay/internal/web"
+)
+
+func TestSeedDesigns(t *testing.T) {
+	srv, err := web.NewServer(web.Config{}, library.Standard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seedDesigns(srv); err != nil {
+		t.Fatal(err)
+	}
+	// Seeding twice must not fail (idempotent demo setup).
+	if err := seedDesigns(srv); err != nil {
+		t.Fatal(err)
+	}
+	// The macro landed in the registry alongside the designs.
+	if _, ok := srv.Registry().Lookup("macro.luminance"); !ok {
+		t.Error("luminance macro not registered by seeding")
+	}
+}
+
+func TestMultiFlag(t *testing.T) {
+	var m multiFlag
+	if err := m.Set("a=b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("c=d"); err != nil {
+		t.Fatal(err)
+	}
+	if m.String() != "a=b,c=d" {
+		t.Errorf("String = %q", m.String())
+	}
+	if len(m) != 2 {
+		t.Errorf("len = %d", len(m))
+	}
+}

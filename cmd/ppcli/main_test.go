@@ -1,0 +1,278 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture redirects stdout around fn and returns what was printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return b.String(), runErr
+}
+
+func TestCells(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"cells"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ucb.mult.array", "ucb.sram", "power.dcdc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cells missing %q", want)
+		}
+	}
+}
+
+func TestLibDoc(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"libdoc"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# PowerPlay standard library", "## computation", "## storage",
+		"### `ucb.mult.array`", "253", "| bits | 8 |",
+		"## converter", "### `analog.ota.cmos`",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("libdoc missing %q", want)
+		}
+	}
+}
+
+func TestInfo(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"info", "ucb.sram"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "words") || !strings.Contains(out, "EQ 7") {
+		t.Errorf("info output: %s", out)
+	}
+	if err := run([]string{"info", "ghost"}); err == nil {
+		t.Error("unknown cell should fail")
+	}
+}
+
+func TestEval(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"eval", "ucb.mult.array", "bwA=8", "bwB=8", "vdd=1.5V", "f=2MHz"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "72.86uW") {
+		t.Errorf("eval output: %s", out)
+	}
+	if err := run([]string{"eval", "ucb.mult.array", "bwA=notanumber"}); err == nil {
+		t.Error("bad binding should fail")
+	}
+	if err := run([]string{"eval", "ucb.mult.array", "noequals"}); err == nil {
+		t.Error("malformed binding should fail")
+	}
+}
+
+func TestExampleAndDesign(t *testing.T) {
+	for _, which := range []string{"luminance1", "luminance2", "infopad"} {
+		blob, err := capture(t, func() error { return run([]string{"example", which}) })
+		if err != nil {
+			t.Fatalf("%s: %v", which, err)
+		}
+		path := filepath.Join(t.TempDir(), which+".json")
+		if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, err := capture(t, func() error { return run([]string{"design", path}) })
+		if err != nil {
+			t.Fatalf("design %s: %v", which, err)
+		}
+		if !strings.Contains(out, "TOTAL") {
+			t.Errorf("design %s output: %s", which, out)
+		}
+	}
+	if err := run([]string{"example", "nosuch"}); err == nil {
+		t.Error("unknown example should fail")
+	}
+	if err := run([]string{"design", "/nonexistent.json"}); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestDesignWithOverrides(t *testing.T) {
+	blob, err := capture(t, func() error { return run([]string{"example", "luminance2"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "l2.json")
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := capture(t, func() error { return run([]string{"design", path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	swept, err := capture(t, func() error { return run([]string{"design", path, "vdd=3.0"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == swept {
+		t.Error("override should change the report")
+	}
+}
+
+func TestExampleDeckRoundTrip(t *testing.T) {
+	deck, err := capture(t, func() error { return run([]string{"example", "luminance2", "deck"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(deck, "design Luminance_2") {
+		t.Fatalf("deck output: %s", deck[:min(len(deck), 80)])
+	}
+	path := filepath.Join(t.TempDir(), "l2.deck")
+	if err := os.WriteFile(path, []byte(deck), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outDeck, err := capture(t, func() error { return run([]string{"design", path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonBlob, err := capture(t, func() error { return run([]string{"example", "luminance2"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := filepath.Join(t.TempDir(), "l2.json")
+	if err := os.WriteFile(jsonPath, []byte(jsonBlob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outJSON, err := capture(t, func() error { return run([]string{"design", jsonPath}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outDeck != outJSON {
+		t.Error("deck and JSON forms should evaluate identically")
+	}
+	// A file that is neither valid JSON nor a valid deck reports the
+	// deck error (non-.json extension).
+	badPath := filepath.Join(t.TempDir(), "bad.deck")
+	os.WriteFile(badPath, []byte("gibberish here"), 0o644)
+	if err := run([]string{"design", badPath}); err == nil || !strings.Contains(err.Error(), "deck") {
+		t.Errorf("bad deck error: %v", err)
+	}
+	// Bad example format argument.
+	if err := run([]string{"example", "luminance2", "yaml"}); err == nil {
+		t.Error("unknown format should fail")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestSweepSubcommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"sweep", "../../examples/decks/mac16.deck", "vdd", "1.2", "2.4", "4"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header + 4 points
+		t.Fatalf("sweep output:\n%s", out)
+	}
+	// Bad arguments.
+	for _, args := range [][]string{
+		{"sweep", "nope.deck", "vdd", "1", "2", "4"},
+		{"sweep", "../../examples/decks/mac16.deck", "vdd", "abc", "2", "4"},
+		{"sweep", "../../examples/decks/mac16.deck", "vdd", "1", "abc", "4"},
+		{"sweep", "../../examples/decks/mac16.deck", "vdd", "1", "2", "1"},
+		{"sweep", "../../examples/decks/mac16.deck"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestCompareSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	for _, which := range []string{"luminance1", "luminance2"} {
+		blob, err := capture(t, func() error { return run([]string{"example", which}) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, which+".json"), []byte(blob), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := capture(t, func() error {
+		return run([]string{"compare",
+			filepath.Join(dir, "luminance1.json"), filepath.Join(dir, "luminance2.json")})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "5.19x") || !strings.Contains(out, "look_up_table") {
+		t.Errorf("compare output:\n%s", out)
+	}
+	if err := run([]string{"compare", "a-missing.json", "b-missing.json"}); err == nil {
+		t.Error("missing files should fail")
+	}
+}
+
+// The shipped example decks must stay valid and price successfully.
+func TestShippedDecks(t *testing.T) {
+	decks, err := filepath.Glob("../../examples/decks/*.deck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decks) < 3 {
+		t.Fatalf("expected shipped decks, found %v", decks)
+	}
+	for _, path := range decks {
+		out, err := capture(t, func() error { return run([]string{"design", path}) })
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if !strings.Contains(out, "TOTAL") {
+			t.Errorf("%s produced no total", path)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	bad := [][]string{
+		nil,
+		{"bogus"},
+		{"info"},
+		{"eval"},
+		{"design"},
+		{"example"},
+	}
+	for _, args := range bad {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

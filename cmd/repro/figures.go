@@ -1,0 +1,196 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"powerplay/internal/core/model"
+	"powerplay/internal/core/sheet"
+	"powerplay/internal/infopad"
+	"powerplay/internal/library"
+	"powerplay/internal/units"
+	"powerplay/internal/vqsim"
+)
+
+func runFig2() error {
+	reg := library.Standard()
+	d, err := vqsim.Luminance1(reg)
+	if err != nil {
+		return err
+	}
+	r, err := d.Evaluate()
+	if err != nil {
+		return err
+	}
+	sheet.Report(os.Stdout, d, r)
+	return nil
+}
+
+func runFig3() error {
+	reg := library.Standard()
+	d1, err := vqsim.Luminance1(reg)
+	if err != nil {
+		return err
+	}
+	d2, err := vqsim.Luminance2(reg)
+	if err != nil {
+		return err
+	}
+	r1, err := d1.Evaluate()
+	if err != nil {
+		return err
+	}
+	r2, err := d2.Evaluate()
+	if err != nil {
+		return err
+	}
+	sheet.Report(os.Stdout, d2, r2)
+	fmt.Println()
+	sheet.Compare("Luminance_1", r1, "Luminance_2", r2).Write(os.Stdout)
+	fmt.Println()
+	p1, p2 := float64(r1.Power), float64(r2.Power)
+	fmt.Printf("implementation 1 (Figure 1): %s\n", units.Watts(p1))
+	fmt.Printf("implementation 2 (Figure 3): %s   (paper: ~150uW)\n", units.Watts(p2))
+	fmt.Printf("ratio: %.2fx                      (paper: ~5x, '1/5 that of the original')\n", p1/p2)
+	fmt.Printf("measured chip: 100uW; estimate/measured = %.2fx (within an octave: %v)\n",
+		p2/100e-6, p2/100e-6 < 2 && p2/100e-6 > 0.5)
+	return nil
+}
+
+func runFig4() error {
+	reg := library.Standard()
+	fmt.Println("Array multiplier, C_T = bwA x bwB x coeff (253fF uncorrelated / 170fF correlated)")
+	fmt.Printf("%-8s %-14s %12s %14s %14s\n", "bwA x bwB", "inputs", "C_T", "Energy/op", "Power@1.5V,2MHz")
+	type cfg struct{ a, b, corr float64 }
+	cases := []cfg{
+		{4, 4, 0}, {8, 8, 0}, {8, 8, 1}, {8, 16, 0}, {16, 16, 0}, {16, 16, 1},
+	}
+	for _, c := range cases {
+		est, err := reg.Evaluate(library.ArrayMultiplier, model.Params{
+			"bwA": c.a, "bwB": c.b, "corr": c.corr, "vdd": 1.5, "f": 2e6,
+		})
+		if err != nil {
+			return err
+		}
+		kind := "uncorrelated"
+		if c.corr == 1 {
+			kind = "correlated"
+		}
+		fmt.Printf("%-8s %-14s %12s %14s %14s\n",
+			fmt.Sprintf("%gx%g", c.a, c.b), kind,
+			est.SwitchedCap(), est.EnergyPerOp(), est.Power())
+	}
+	fmt.Println("\nsaved-to-sheet flow and the HTML form itself are exercised in internal/web tests")
+	return nil
+}
+
+func runFig5() error {
+	reg := library.Standard()
+	d, err := infopad.Build(reg)
+	if err != nil {
+		return err
+	}
+	r, err := d.Evaluate()
+	if err != nil {
+		return err
+	}
+	sheet.Report(os.Stdout, d, r)
+	fmt.Println("\npower breakdown (largest first):")
+	for _, line := range sheet.Breakdown(r) {
+		fmt.Println("  " + line)
+	}
+	custom := float64(r.Find("custom_hardware").Power)
+	lum := float64(r.Find("custom_hardware/luminance").Power)
+	fmt.Printf("\ncustom low-power hardware: %.2f%% of system total\n", 100*custom/float64(r.Power))
+	fmt.Printf("the modeled luminance chip: %s (%.3f%% of total) — the paper's pitfall in numbers\n",
+		units.Watts(lum), 100*lum/float64(r.Power))
+	if hours, err := infopad.BatteryLife(r.Power, 15, 0.9); err == nil {
+		fmt.Printf("runtime on a 15 Wh pack (90%% usable): %.1f hours\n", hours)
+	}
+	return nil
+}
+
+func runRates() error {
+	cb := vqsim.NewCodebook()
+	frames := make([][]uint8, 8)
+	for i := range frames {
+		f := make([]uint8, vqsim.CodesPerFrame)
+		for j := range f {
+			f[j] = uint8((i*31 + j*7) % 256)
+		}
+		frames[i] = f
+	}
+	fmt.Printf("screen %dx%d at %d frames/s refresh of %d frames/s video => f = %s (paper rounds to 2MHz)\n",
+		vqsim.ScreenW, vqsim.ScreenH, vqsim.RefreshHz, vqsim.VideoHz,
+		units.Hertz(vqsim.PixelRateHz))
+	const f = 2e6
+	for _, wide := range []bool{false, true} {
+		d := vqsim.NewDecoder(cb, wide)
+		out, err := d.RunFrames(frames)
+		if err != nil {
+			return err
+		}
+		c := d.Counts()
+		arch := "Figure 1 (one pixel/access)"
+		if wide {
+			arch = "Figure 3 (four pixels/access)"
+		}
+		fmt.Printf("\n%s — %d pixels decoded\n", arch, len(out))
+		fmt.Printf("  %-14s %12s %14s %10s\n", "unit", "accesses", "simulated rate", "analytic")
+		row := func(name string, n uint64, analytic string) {
+			fmt.Printf("  %-14s %12d %14s %10s\n", name, n, units.Hertz(c.Rate(n, f)), analytic)
+		}
+		row("read bank", c.BankReads, "f/16")
+		row("write bank", c.BankWrites, "f/32")
+		if wide {
+			row("LUT", c.LUTReads, "f/4")
+			row("word latch", c.LatchLoads, "f/4")
+			row("output mux", c.MuxSelects, "f")
+		} else {
+			row("LUT", c.LUTReads, "f")
+		}
+		row("output reg", c.RegLoads, "f")
+	}
+	fmt.Println("\nboth architectures produced identical pixel streams (verified in vqsim tests)")
+	return nil
+}
+
+func runSweep() error {
+	reg := library.Standard()
+	d1, err := vqsim.Luminance1(reg)
+	if err != nil {
+		return err
+	}
+	d2, err := vqsim.Luminance2(reg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("supply sweep at f = 2MHz (power; delay of slowest row):")
+	fmt.Printf("%6s %16s %16s %14s\n", "VDD", "Luminance_1", "Luminance_2", "crit. delay 2")
+	for _, vdd := range []float64{1.1, 1.3, 1.5, 2.0, 2.5, 3.0, 3.3} {
+		r1, err := d1.EvaluateAt(map[string]float64{"vdd": vdd})
+		if err != nil {
+			return err
+		}
+		r2, err := d2.EvaluateAt(map[string]float64{"vdd": vdd})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%6.2f %16s %16s %14s\n", vdd,
+			units.Watts(r1.Power), units.Watts(r2.Power), r2.Delay)
+	}
+	fmt.Println("\nfrequency sweep at VDD = 1.5V:")
+	fmt.Printf("%10s %16s %16s\n", "f", "Luminance_1", "Luminance_2")
+	for _, f := range []float64{0.5e6, 1e6, 2e6, 4e6, 8e6} {
+		r1, err := d1.EvaluateAt(map[string]float64{"f": f})
+		if err != nil {
+			return err
+		}
+		r2, err := d2.EvaluateAt(map[string]float64{"f": f})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%10s %16s %16s\n", units.Hertz(f), units.Watts(r1.Power), units.Watts(r2.Power))
+	}
+	return nil
+}

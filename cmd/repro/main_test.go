@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// Every experiment must keep running end to end: the harness is the
+// deliverable that regenerates the paper's tables.
+func TestAllExperimentsRun(t *testing.T) {
+	// Silence the experiment output during tests.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	for _, e := range experiments() {
+		e := e
+		t.Run(e.id, func(t *testing.T) {
+			if err := e.run(); err != nil {
+				t.Fatalf("%s: %v", e.id, err)
+			}
+		})
+	}
+}
+
+func TestExperimentIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range experiments() {
+		if seen[e.id] {
+			t.Errorf("duplicate id %q", e.id)
+		}
+		seen[e.id] = true
+		if e.title == "" {
+			t.Errorf("%s: empty title", e.id)
+		}
+	}
+	if len(seen) < 13 {
+		t.Errorf("only %d experiments registered", len(seen))
+	}
+}

@@ -1,0 +1,116 @@
+package powerplay_test
+
+import (
+	"fmt"
+	"os"
+
+	"powerplay"
+)
+
+// The three-minute estimate: pick a characterized cell, set its
+// parameters, read the EQ 1 result.
+func ExampleEvaluate() {
+	reg := powerplay.StandardLibrary()
+	m, _ := reg.Lookup(powerplay.ArrayMultiplier)
+	est, err := powerplay.Evaluate(m, powerplay.Params{
+		"bwA": 8, "bwB": 8, "vdd": 1.5, "f": 2e6,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("C_T  =", est.SwitchedCap())
+	fmt.Println("E/op =", est.EnergyPerOp())
+	fmt.Println("P    =", est.Power())
+	// Output:
+	// C_T  = 16.19pF
+	// E/op = 36.43pJ
+	// P    = 72.86uW
+}
+
+// A design sheet with variables: parameters are expressions, and the
+// whole sheet re-prices when a variable changes.
+func ExampleDesign() {
+	reg := powerplay.StandardLibrary()
+	d := powerplay.NewDesign("demo", reg)
+	d.Root.SetGlobalValue("vdd", 1.5, "1.5")
+	d.Root.SetGlobalValue("f", 2e6, "2MHz")
+	mem := d.Root.MustAddChild("buffer", powerplay.SRAM)
+	_ = mem.SetParam("words", "2048")
+	_ = mem.SetParam("bits", "8")
+	_ = mem.SetParam("f", "f/16") // read once per 16 pixels
+
+	r, _ := d.Evaluate()
+	fmt.Println("at 1.5V:", r.Power)
+	swept, _ := d.EvaluateAt(map[string]float64{"vdd": 3.0})
+	fmt.Println("at 3.0V:", swept.Power)
+	// Output:
+	// at 1.5V: 23.65uW
+	// at 3.0V: 94.59uW
+}
+
+// Inter-model interaction: a DC-DC converter row whose load is an
+// expression over the rows it feeds (EQ 19).
+func ExampleDesign_interModel() {
+	reg := powerplay.StandardLibrary()
+	d := powerplay.NewDesign("system", reg)
+	d.Root.SetGlobalValue("vdd", 5, "5")
+	d.Root.SetGlobalValue("f", 1e6, "1MHz")
+	radio := d.Root.MustAddChild("radio", powerplay.FixedPart)
+	_ = radio.SetParam("pnom", "0.4")
+	conv := d.Root.MustAddChild("converter", powerplay.DCDC)
+	_ = conv.SetParam("pload", `power("radio")`)
+	_ = conv.SetParam("eta", "0.8")
+
+	r, _ := d.Evaluate()
+	fmt.Println("radio:    ", r.Find("radio").Power)
+	fmt.Println("converter:", r.Find("converter").Power)
+	// Output:
+	// radio:     400mW
+	// converter: 100mW
+}
+
+// Deck files are the hand-writable form of a sheet.
+func ExampleParseDeck() {
+	reg := powerplay.StandardLibrary()
+	d, err := powerplay.ParseDeck(`
+design quick
+var vdd = 1.5
+var f = 2MHz
+row mult ucb.mult.array bwA=8 bwB=8
+row acc ucb.add.ripple bits=16
+`, reg)
+	if err != nil {
+		panic(err)
+	}
+	r, _ := d.Evaluate()
+	fmt.Println(r.Power)
+	// Output:
+	// 76.32uW
+}
+
+// A whole design lumps into a macro: one row of a bigger sheet.
+func ExampleNewMacro() {
+	reg := powerplay.StandardLibrary()
+	chip, _ := powerplay.Luminance2(reg)
+	mac, _ := powerplay.NewMacro("macro.chip", "Video chip", "Figure 3 design", chip)
+	_ = reg.Register(mac)
+
+	system := powerplay.NewDesign("terminal", reg)
+	system.Root.SetGlobalValue("vdd", 1.5, "1.5")
+	system.Root.SetGlobalValue("f", 2e6, "2MHz")
+	system.Root.MustAddChild("video", "macro.chip")
+	r, _ := system.Evaluate()
+	fmt.Println(r.Power)
+	// Output:
+	// 142.3uW
+}
+
+// Report renders the Figure 2-style spreadsheet view.
+func ExampleReport() {
+	reg := powerplay.StandardLibrary()
+	d, _ := powerplay.Luminance1(reg)
+	r, _ := d.Evaluate()
+	powerplay.Report(os.Stdout, d, r)
+	// Unordered output comparison is not needed: the report is
+	// deterministic, but long; just show it ran.
+}

@@ -1,0 +1,39 @@
+// archscale runs the architecture-driven voltage scaling study: the
+// canonical low-power exploration (Chandrakasan, the paper's ref [5])
+// that a models-plus-spreadsheet tool makes cheap.
+//
+// A fixed-throughput multiply-accumulate stream is implemented as one
+// fast MAC lane or as N parallel lanes at 1/N the clock.  Parallelism
+// buys timing slack, slack buys supply reduction, and power falls with
+// VDD² while hardware only grows linearly — until VDD approaches the
+// threshold voltage and the returns run out.
+//
+//	go run ./examples/archscale
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"powerplay"
+)
+
+func main() {
+	reg := powerplay.StandardLibrary()
+	const fs = 20e6
+	pts, err := powerplay.ArchScale(reg, fs, []int{1, 2, 4, 8, 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("20 MS/s 16-bit MAC stream, N parallel lanes at fs/N, minimum timing-feasible supply:\n\n")
+	fmt.Printf("%6s %10s %14s %14s %12s %12s\n", "lanes", "min VDD", "power", "area", "power vs x1", "area vs x1")
+	base := pts[0]
+	for _, p := range pts {
+		fmt.Printf("%6d %9.2fV %14.4g %14.4g %11.2fx %11.2fx\n",
+			p.Lanes, p.MinVDD, p.Power, p.Area,
+			base.Power/p.Power, p.Area/base.Area)
+	}
+	fmt.Println("\nreading: each doubling of parallelism lowers the feasible supply; the power")
+	fmt.Println("saving is quadratic in voltage but saturates near threshold, while area keeps")
+	fmt.Println("doubling — the sweet spot is where those curves cross your budget.")
+}

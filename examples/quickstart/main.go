@@ -1,0 +1,58 @@
+// Quickstart: the three-minute estimate from the paper's introduction.
+//
+// Pick pre-characterized cells, customize their parameters, compose a
+// sheet with supply voltage and clock frequency as variables, press
+// Play, and then explore: vary the supply and watch power and delay
+// trade off.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"powerplay"
+)
+
+func main() {
+	reg := powerplay.StandardLibrary()
+
+	// A toy multiply-accumulate datapath: multiplier + adder +
+	// accumulator register, all clocked at f.
+	d := powerplay.NewDesign("mac16", reg)
+	d.Doc = "16-bit multiply-accumulate datapath"
+	d.Root.SetGlobalValue("vdd", 1.5, "1.5")
+	d.Root.SetGlobalValue("f", 10e6, "10MHz")
+
+	mult := d.Root.MustAddChild("multiplier", powerplay.ArrayMultiplier)
+	check(mult.SetParam("bwA", "16"))
+	check(mult.SetParam("bwB", "16"))
+
+	add := d.Root.MustAddChild("adder", powerplay.RippleAdder)
+	check(add.SetParam("bits", "32"))
+
+	acc := d.Root.MustAddChild("accumulator", powerplay.Register)
+	check(acc.SetParam("bits", "32"))
+
+	r, err := d.Evaluate()
+	check(err)
+	powerplay.Report(os.Stdout, d, r)
+
+	// Exploration: the whole point of the tool.  Sweep the supply and
+	// report power and the resulting maximum clock.
+	fmt.Println("\nsupply exploration:")
+	fmt.Printf("%6s %14s %14s\n", "VDD", "power", "critical path")
+	for _, vdd := range []float64{1.1, 1.5, 2.0, 2.5, 3.3} {
+		res, err := d.EvaluateAt(map[string]float64{"vdd": vdd})
+		check(err)
+		fmt.Printf("%6.2f %14s %14s\n", vdd, res.Power, res.Delay)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+// remotelib demonstrates the Figure 6-7 protocol: a library
+// characterized at one site is used for estimates at another.
+//
+// The example stands up a real PowerPlay web server on a loopback
+// port ("Berkeley"), then acts as a second site ("MIT"): it mounts the
+// Berkeley library over HTTP under the "berkeley." prefix and builds a
+// local design sheet whose rows are remote models.  Every Play
+// evaluates across the network.
+//
+//	go run ./examples/remotelib
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	"powerplay"
+)
+
+func main() {
+	// --- the serving site ---
+	berkeleyReg := powerplay.StandardLibrary()
+	site, err := powerplay.NewServer(powerplay.ServerConfig{SiteName: "Berkeley"}, berkeleyReg)
+	check(err)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	hs := &http.Server{Handler: site.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("Berkeley site serving its library at %s\n", base)
+
+	// --- the consuming site ---
+	mitReg := powerplay.StandardLibrary()
+	n, err := powerplay.MountRemote(mitReg, &powerplay.Remote{BaseURL: base}, "berkeley")
+	check(err)
+	fmt.Printf("MIT mounted %d Berkeley models\n\n", n)
+
+	d := powerplay.NewDesign("mit_design", mitReg)
+	d.Doc = "a sheet priced with a library served from another site"
+	d.Root.SetGlobalValue("vdd", 1.5, "1.5")
+	d.Root.SetGlobalValue("f", 2e6, "2MHz")
+	lut := d.Root.MustAddChild("lut", "berkeley."+powerplay.SRAM)
+	check(lut.SetParam("words", "4096"))
+	check(lut.SetParam("bits", "6"))
+	mult := d.Root.MustAddChild("mult", "berkeley."+powerplay.ArrayMultiplier)
+	check(mult.SetParam("bwA", "8"))
+	check(mult.SetParam("bwB", "8"))
+
+	r, err := d.Evaluate()
+	check(err)
+	powerplay.Report(os.Stdout, d, r)
+	fmt.Println("\nevery row above was evaluated by the Berkeley server over HTTP;")
+	fmt.Println("parameter schemas were fetched once, so validation stays local.")
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+// sorting reproduces the Ong & Yan power-conscious-software study the
+// paper cites (ref [15]): the same sorting task coded three ways on a
+// fictitious processor, priced with the instruction-level model
+// (EQ 12) and refined with a Dinero-style cache simulation — showing
+// the orders-of-magnitude energy variance that the data-sheet model
+// (EQ 11) is blind to.
+//
+//	go run ./examples/sorting
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"powerplay"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	data := make([]int64, 1200)
+	for i := range data {
+		data[i] = int64(rng.Intn(1 << 18))
+	}
+	table := powerplay.DefaultEnergyTable()
+	cache := powerplay.CacheConfig{
+		Size: 4096, BlockSize: 32, Assoc: 2,
+		WriteBack: true, WriteAllocate: true,
+	}
+	rows, err := powerplay.MeasureSorts(data, table, cache)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sorting %d random keys on the fictitious processor (3.3V characterization)\n\n", len(data))
+	fmt.Printf("%-12s %14s %14s %16s %10s\n",
+		"algorithm", "instructions", "E (EQ 12)", "E (+cache)", "missrate")
+	var lo, hi float64
+	for _, r := range rows {
+		fmt.Printf("%-12s %14d %14s %16s %9.2f%%\n",
+			r.Algorithm, r.Instructions, r.Energy, r.RefinedEnergyJ, 100*r.MissRate)
+		e := float64(r.Energy)
+		if lo == 0 || e < lo {
+			lo = e
+		}
+		if e > hi {
+			hi = e
+		}
+	}
+	fmt.Printf("\nalgorithm choice alone spans %.0fx in energy — before any circuit-level work.\n", hi/lo)
+	fmt.Println("cache misses add the correction the paper warns EQ 12 alone underestimates.")
+}

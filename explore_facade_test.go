@@ -1,0 +1,123 @@
+package powerplay_test
+
+import (
+	"math"
+	"testing"
+
+	"powerplay"
+)
+
+func TestSweepAndParetoThroughFacade(t *testing.T) {
+	reg := powerplay.StandardLibrary()
+	d, err := powerplay.Luminance2(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := powerplay.Sweep(d, "vdd", powerplay.Linspace(1.0, 3.3, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Monotone power, monotone delay — the full sweep is the frontier.
+	front := powerplay.Pareto(pts)
+	if len(front) != len(pts) {
+		t.Errorf("voltage sweep should be entirely non-dominated: %d of %d", len(front), len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Power <= pts[i-1].Power {
+			t.Error("power should rise with supply")
+		}
+		if pts[i].Delay >= pts[i-1].Delay {
+			t.Error("delay should fall with supply")
+		}
+	}
+}
+
+func TestVoltageScaleThroughFacade(t *testing.T) {
+	reg := powerplay.StandardLibrary()
+	d, err := powerplay.Luminance2(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The chip only needs 2 MHz; the library is characterized at 1.5 V
+	// but meets 2 MHz far below that.
+	s, err := powerplay.VoltageScale(d, 2e6, 0.8, 3.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MinVDD >= 1.5 {
+		t.Errorf("a 2MHz target should allow deep scaling, got %v V", s.MinVDD)
+	}
+	if s.Saving() < 0.8 {
+		t.Errorf("saving = %.0f%%", 100*s.Saving())
+	}
+	v, err := powerplay.MinSupply(d, 2e6, 0.8, 3.3)
+	if err != nil || math.Abs(v-s.MinVDD) > 1e-6 {
+		t.Errorf("MinSupply = %v, %v", v, err)
+	}
+}
+
+func TestAdviceAndTimingThroughFacade(t *testing.T) {
+	reg := powerplay.StandardLibrary()
+	d, err := powerplay.Luminance1(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := powerplay.Advice(r)
+	if len(rows) != 5 || rows[0].Path != "look_up_table" {
+		t.Fatalf("advice = %+v", rows)
+	}
+	if rows[0].Share < 0.7 {
+		t.Errorf("LUT share = %v", rows[0].Share)
+	}
+	timing, err := powerplay.TimingReport(r, 2e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range timing {
+		if !tr.Meets {
+			t.Errorf("%s should meet 2MHz: %+v", tr.Path, tr)
+		}
+	}
+	// At 100 MHz the memories fail.
+	timing, err = powerplay.TimingReport(r, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyFail := false
+	for _, tr := range timing {
+		if !tr.Meets {
+			anyFail = true
+		}
+	}
+	if !anyFail {
+		t.Error("100MHz should be unreachable for the SRAMs")
+	}
+}
+
+func TestSignalStatsThroughFacade(t *testing.T) {
+	s := powerplay.SignalStats{Std: 256, Rho: 0.95}
+	if s.ActScale(16) >= 1 {
+		t.Error("correlated narrow signal should scale activity below 1")
+	}
+	reg := powerplay.StandardLibrary()
+	est, err := reg.Evaluate(powerplay.RippleAdder,
+		powerplay.Params{"bits": 16, "act": s.ActScale(16), "vdd": 1.5, "f": 2e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := reg.Evaluate(powerplay.RippleAdder,
+		powerplay.Params{"bits": 16, "vdd": 1.5, "f": 2e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Power() >= base.Power() {
+		t.Error("DBT-derived activity should cut the estimate")
+	}
+}

@@ -1,0 +1,3 @@
+module powerplay
+
+go 1.22

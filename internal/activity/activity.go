@@ -1,0 +1,159 @@
+// Package activity implements Landman's dual-bit-type (DBT) word-level
+// activity model: the "signal-correlation characteristics" parameter
+// the paper's design example sets when customizing a cell.
+//
+// Real datapath signals are not white noise.  In a two's-complement
+// word carrying a correlated, possibly biased signal, the low-order
+// bits behave like uniform random data (transition probability 1/2 per
+// cycle) while the high-order bits all copy the sign, whose transition
+// probability depends on the word-level statistics: for a stationary
+// Gaussian sequence with lag-1 correlation ρ, the exact sign-flip
+// probability is arccos(ρ)/π.  Landman's DBT model captures the whole
+// word with two breakpoints,
+//
+//	BP0 = log2 σ                 (top of the random region)
+//	BP1 = log2(|µ| + 3σ)         (bottom of the sign region)
+//
+// linear activity interpolation between them, and the two limiting
+// activities above.  The resulting per-bit activity profile converts a
+// signal specification into the "act" parameter of the library's
+// capacitance models — which is how PowerPlay prices a multiplier
+// differently for correlated and uncorrelated inputs.
+package activity
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Stats is a word-level signal description.
+type Stats struct {
+	// Mean is the signal's DC value µ.
+	Mean float64
+	// Std is the standard deviation σ (> 0).
+	Std float64
+	// Rho is the lag-1 temporal correlation ρ in (-1, 1).
+	Rho float64
+}
+
+// Validate checks the description.
+func (s Stats) Validate() error {
+	if !(s.Std > 0) {
+		return fmt.Errorf("activity: std must be positive, got %g", s.Std)
+	}
+	if !(s.Rho > -1 && s.Rho < 1) {
+		return fmt.Errorf("activity: rho must be in (-1, 1), got %g", s.Rho)
+	}
+	return nil
+}
+
+// SignActivity returns the transition probability of the sign bit of a
+// stationary Gaussian sequence with lag-1 correlation rho:
+// arccos(ρ)/π.  White noise (ρ=0) gives 1/2; strong positive
+// correlation drives it toward 0; anticorrelation toward 1.
+func SignActivity(rho float64) float64 {
+	if rho >= 1 {
+		return 0
+	}
+	if rho <= -1 {
+		return 1
+	}
+	return math.Acos(rho) / math.Pi
+}
+
+// Breakpoints returns the DBT region boundaries in bit positions.
+func (s Stats) Breakpoints() (bp0, bp1 float64) {
+	bp0 = math.Log2(s.Std)
+	bp1 = math.Log2(math.Abs(s.Mean) + 3*s.Std)
+	if bp1 < bp0 {
+		bp1 = bp0
+	}
+	return bp0, bp1
+}
+
+// BitActivity returns the DBT transition probability of bit position
+// bit (0 = LSB).
+func (s Stats) BitActivity(bit int) float64 {
+	bp0, bp1 := s.Breakpoints()
+	b := float64(bit)
+	msb := SignActivity(s.Rho)
+	switch {
+	case b <= bp0:
+		return 0.5
+	case b >= bp1:
+		return msb
+	default:
+		frac := (b - bp0) / (bp1 - bp0)
+		return 0.5 + frac*(msb-0.5)
+	}
+}
+
+// Profile returns the per-bit activities of a width-bit word, LSB
+// first.
+func (s Stats) Profile(bits int) []float64 {
+	out := make([]float64, bits)
+	for i := range out {
+		out[i] = s.BitActivity(i)
+	}
+	return out
+}
+
+// WordActivity returns the mean per-bit activity of a width-bit word:
+// the number the sheet plugs into a cell's "act" parameter after
+// normalizing (see ActScale).
+func (s Stats) WordActivity(bits int) float64 {
+	if bits <= 0 {
+		return 0
+	}
+	var sum float64
+	for _, a := range s.Profile(bits) {
+		sum += a
+	}
+	return sum / float64(bits)
+}
+
+// ActScale converts a word activity into the activity scale factor of
+// the library's Landman cells, whose coefficients were characterized
+// with random (α = 1/2 per bit) data: act = ᾱ / 0.5.
+func (s Stats) ActScale(bits int) float64 {
+	return s.WordActivity(bits) / 0.5
+}
+
+// GenerateAR1 produces n samples of a lag-1 Gaussian (AR(1)) sequence
+// with the given statistics, quantized to integers — the synthetic
+// stream the empirical checks run on.
+func GenerateAR1(rng *rand.Rand, n int, s Stats) []int64 {
+	out := make([]int64, n)
+	// x_{t+1} = ρ·x_t + sqrt(1-ρ²)·w, stationary with unit variance.
+	x := rng.NormFloat64()
+	drive := math.Sqrt(1 - s.Rho*s.Rho)
+	for i := range out {
+		out[i] = int64(math.Round(s.Mean + s.Std*x))
+		x = s.Rho*x + drive*rng.NormFloat64()
+	}
+	return out
+}
+
+// Measure counts the observed per-bit transition probabilities of a
+// two's-complement sample stream: the empirical ground truth the DBT
+// model approximates.
+func Measure(samples []int64, bits int) []float64 {
+	out := make([]float64, bits)
+	if len(samples) < 2 {
+		return out
+	}
+	for t := 1; t < len(samples); t++ {
+		diff := uint64(samples[t-1]) ^ uint64(samples[t])
+		for b := 0; b < bits; b++ {
+			if diff>>uint(b)&1 == 1 {
+				out[b]++
+			}
+		}
+	}
+	n := float64(len(samples) - 1)
+	for b := range out {
+		out[b] /= n
+	}
+	return out
+}

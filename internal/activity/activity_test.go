@@ -1,0 +1,191 @@
+package activity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSignActivity(t *testing.T) {
+	cases := []struct{ rho, want float64 }{
+		{0, 0.5},
+		{1, 0},
+		{-1, 1},
+		{0.5, math.Acos(0.5) / math.Pi},
+		{2, 0},  // clamped
+		{-2, 1}, // clamped
+	}
+	for _, c := range cases {
+		if got := SignActivity(c.rho); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("SignActivity(%v) = %v, want %v", c.rho, got, c.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Stats{Std: 1, Rho: 0}).Validate(); err != nil {
+		t.Error(err)
+	}
+	for _, bad := range []Stats{{Std: 0}, {Std: -1}, {Std: 1, Rho: 1}, {Std: 1, Rho: -1.5}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%+v should fail", bad)
+		}
+	}
+}
+
+func TestBreakpointsOrdering(t *testing.T) {
+	s := Stats{Mean: 0, Std: 256, Rho: 0.9}
+	bp0, bp1 := s.Breakpoints()
+	if bp0 != 8 {
+		t.Errorf("BP0 = %v, want log2(256)=8", bp0)
+	}
+	if bp1 <= bp0 {
+		t.Errorf("BP1 (%v) should exceed BP0 (%v)", bp1, bp0)
+	}
+	// A large mean pushes the sign region up.
+	biased := Stats{Mean: 1 << 14, Std: 256, Rho: 0.9}
+	_, bp1b := biased.Breakpoints()
+	if bp1b <= bp1 {
+		t.Error("bias should raise BP1")
+	}
+}
+
+func TestProfileShape(t *testing.T) {
+	s := Stats{Std: 256, Rho: 0.95}
+	prof := s.Profile(16)
+	if prof[0] != 0.5 || prof[1] != 0.5 {
+		t.Errorf("LSBs should be random: %v", prof[:4])
+	}
+	msb := SignActivity(0.95)
+	if math.Abs(prof[15]-msb) > 1e-12 {
+		t.Errorf("MSB = %v, want %v", prof[15], msb)
+	}
+	// Positive correlation: activity decreases monotonically toward the
+	// sign region.
+	for i := 1; i < len(prof); i++ {
+		if prof[i] > prof[i-1]+1e-12 {
+			t.Errorf("profile should be non-increasing for rho>0: %v", prof)
+		}
+	}
+}
+
+func TestWordActivityAndScale(t *testing.T) {
+	// White noise over the full word: everything random.
+	white := Stats{Std: 1 << 14, Rho: 0}
+	if got := white.WordActivity(16); math.Abs(got-0.5) > 0.05 {
+		t.Errorf("white word activity = %v", got)
+	}
+	if got := white.ActScale(16); math.Abs(got-1) > 0.1 {
+		t.Errorf("white ActScale = %v", got)
+	}
+	// Strongly correlated narrow signal in a wide word: far below 1.
+	narrow := Stats{Std: 16, Rho: 0.99}
+	if got := narrow.ActScale(16); got > 0.6 {
+		t.Errorf("correlated ActScale = %v, want well under 1", got)
+	}
+	if (Stats{Std: 1}).WordActivity(0) != 0 {
+		t.Error("zero-width word")
+	}
+}
+
+// The core empirical claim: DBT matches measured per-bit activities of
+// AR(1) streams in both limiting regions.
+func TestDBTMatchesMeasurement(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, rho := range []float64{0, 0.5, 0.9, -0.5} {
+		s := Stats{Mean: 0, Std: 1024, Rho: rho}
+		samples := GenerateAR1(rng, 200000, s)
+		meas := Measure(samples, 16)
+		// LSB region: bits 0..7 (BP0 = 10) behave randomly.
+		for b := 0; b <= 7; b++ {
+			if math.Abs(meas[b]-0.5) > 0.03 {
+				t.Errorf("rho=%v bit %d measured %v, want ~0.5", rho, b, meas[b])
+			}
+		}
+		// Sign region: bits 13..15 (BP1 = log2(3072) ≈ 11.6).
+		want := SignActivity(rho)
+		for b := 13; b <= 15; b++ {
+			if math.Abs(meas[b]-want) > 0.03 {
+				t.Errorf("rho=%v bit %d measured %v, want ~%v", rho, b, meas[b], want)
+			}
+		}
+	}
+}
+
+// Property: the DBT word activity never exceeds the random-data bound
+// for positively correlated signals, and the model's profile stays in
+// [0, 1].
+func TestQuickProfileBounds(t *testing.T) {
+	f := func(rawRho, rawStd uint8, rawMean int8) bool {
+		s := Stats{
+			Mean: float64(rawMean) * 16,
+			Std:  1 + float64(rawStd)*8,
+			Rho:  float64(rawRho) / 256, // [0, 1)
+		}
+		for _, a := range s.Profile(24) {
+			if a < 0 || a > 1 {
+				return false
+			}
+		}
+		return s.WordActivity(24) <= 0.5+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeasureDegenerate(t *testing.T) {
+	if got := Measure(nil, 8); len(got) != 8 {
+		t.Error("nil samples")
+	}
+	got := Measure([]int64{5}, 8)
+	for _, v := range got {
+		if v != 0 {
+			t.Error("single sample has no transitions")
+		}
+	}
+	// A constant stream has zero activity everywhere.
+	got = Measure([]int64{7, 7, 7, 7}, 8)
+	for _, v := range got {
+		if v != 0 {
+			t.Error("constant stream")
+		}
+	}
+	// An alternating stream toggles its differing bits every cycle.
+	got = Measure([]int64{0, 1, 0, 1}, 2)
+	if got[0] != 1 || got[1] != 0 {
+		t.Errorf("alternating = %v", got)
+	}
+}
+
+func TestGenerateAR1Statistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	s := Stats{Mean: 100, Std: 50, Rho: 0.8}
+	x := GenerateAR1(rng, 100000, s)
+	var sum, sq float64
+	for _, v := range x {
+		sum += float64(v)
+	}
+	mean := sum / float64(len(x))
+	for _, v := range x {
+		d := float64(v) - mean
+		sq += d * d
+	}
+	std := math.Sqrt(sq / float64(len(x)))
+	if math.Abs(mean-100) > 2 {
+		t.Errorf("mean = %v", mean)
+	}
+	if math.Abs(std-50) > 2 {
+		t.Errorf("std = %v", std)
+	}
+	// Lag-1 autocorrelation.
+	var cov float64
+	for t1 := 1; t1 < len(x); t1++ {
+		cov += (float64(x[t1]) - mean) * (float64(x[t1-1]) - mean)
+	}
+	rho := cov / float64(len(x)-1) / (std * std)
+	if math.Abs(rho-0.8) > 0.02 {
+		t.Errorf("rho = %v", rho)
+	}
+}

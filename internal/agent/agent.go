@@ -1,0 +1,232 @@
+// Package agent implements the Design Agent: the dynamic design-flow
+// manager PowerPlay uses when a model is not a closed-form equation but
+// a path to estimation tools (ref [1], Bentz et al., "Information-based
+// Design Environment").
+//
+// A hyperlink request for data ("the power of this block in this design
+// context") is translated into a sequence of tool invocations.  Each
+// tool declares the kinds of data it consumes and produces and the
+// design contexts it applies to; the agent backward-chains from the
+// requested kind through the registered tools, picks the cheapest
+// applicable plan, executes it, and caches intermediate products so
+// repeated requests don't re-run the flow.
+package agent
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tool is one registered estimation step.
+type Tool struct {
+	// Name identifies the tool ("extract-netlist", "spice-power").
+	Name string
+	// Doc describes it for the flow display.
+	Doc string
+	// Inputs are the data kinds the tool consumes.
+	Inputs []string
+	// Outputs are the data kinds the tool produces.
+	Outputs []string
+	// Contexts are the design contexts the tool applies to; empty
+	// means any context.
+	Contexts []string
+	// Cost weights plan selection (characterized-equation lookup is
+	// cheap, SPICE is expensive).
+	Cost float64
+	// Run executes the tool over the data products gathered so far,
+	// returning its new products.
+	Run func(data map[string]any) (map[string]any, error)
+}
+
+func (t *Tool) applies(context string) bool {
+	if len(t.Contexts) == 0 {
+		return true
+	}
+	for _, c := range t.Contexts {
+		if c == context {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Tool) produces(kind string) bool {
+	for _, o := range t.Outputs {
+		if o == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// Agent is a tool registry plus planner.
+type Agent struct {
+	tools []*Tool
+}
+
+// New returns an empty agent.
+func New() *Agent { return &Agent{} }
+
+// Register adds a tool.  Names must be unique and every tool must
+// produce something.
+func (a *Agent) Register(t *Tool) error {
+	if t.Name == "" {
+		return fmt.Errorf("agent: tool needs a name")
+	}
+	if len(t.Outputs) == 0 {
+		return fmt.Errorf("agent: tool %q produces nothing", t.Name)
+	}
+	if t.Run == nil {
+		return fmt.Errorf("agent: tool %q has no Run", t.Name)
+	}
+	for _, existing := range a.tools {
+		if existing.Name == t.Name {
+			return fmt.Errorf("agent: duplicate tool %q", t.Name)
+		}
+	}
+	a.tools = append(a.tools, t)
+	return nil
+}
+
+// MustRegister is Register that panics on error.
+func (a *Agent) MustRegister(t *Tool) {
+	if err := a.Register(t); err != nil {
+		panic(err)
+	}
+}
+
+// Tools returns the registered tool names, sorted.
+func (a *Agent) Tools() []string {
+	names := make([]string, len(a.tools))
+	for i, t := range a.tools {
+		names[i] = t.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Plan computes the tool sequence that derives the wanted data kind
+// from the available kinds in the given design context.  The returned
+// sequence is in execution order and minimizes total cost; ties break
+// on tool name for determinism.
+func (a *Agent) Plan(want string, have []string, context string) ([]*Tool, error) {
+	available := map[string]bool{}
+	for _, h := range have {
+		available[h] = true
+	}
+	memo := map[string]*planNode{}
+	visiting := map[string]bool{}
+	node, err := a.solve(want, available, context, memo, visiting)
+	if err != nil {
+		return nil, err
+	}
+	// Flatten the dependency DAG into execution order, deduplicated.
+	var order []*Tool
+	seen := map[string]bool{}
+	var emit func(n *planNode)
+	emit = func(n *planNode) {
+		if n == nil || n.tool == nil {
+			return
+		}
+		for _, dep := range n.deps {
+			emit(dep)
+		}
+		if !seen[n.tool.Name] {
+			seen[n.tool.Name] = true
+			order = append(order, n.tool)
+		}
+	}
+	emit(node)
+	return order, nil
+}
+
+type planNode struct {
+	tool *Tool // nil when the kind was already available
+	deps []*planNode
+	cost float64
+}
+
+func (a *Agent) solve(kind string, available map[string]bool, context string,
+	memo map[string]*planNode, visiting map[string]bool) (*planNode, error) {
+	if available[kind] {
+		return &planNode{}, nil
+	}
+	if n, ok := memo[kind]; ok {
+		return n, nil
+	}
+	if visiting[kind] {
+		return nil, fmt.Errorf("agent: circular tool dependencies while deriving %q", kind)
+	}
+	visiting[kind] = true
+	defer delete(visiting, kind)
+
+	var best *planNode
+	var bestName string
+	var tried []string
+	for _, t := range a.tools {
+		if !t.produces(kind) || !t.applies(context) {
+			continue
+		}
+		tried = append(tried, t.Name)
+		n := &planNode{tool: t, cost: t.Cost}
+		ok := true
+		for _, in := range t.Inputs {
+			dep, err := a.solve(in, available, context, memo, visiting)
+			if err != nil {
+				ok = false
+				break
+			}
+			n.deps = append(n.deps, dep)
+			n.cost += dep.cost
+		}
+		if !ok {
+			continue
+		}
+		if best == nil || n.cost < best.cost || n.cost == best.cost && t.Name < bestName {
+			best, bestName = n, t.Name
+		}
+	}
+	if best == nil {
+		if len(tried) > 0 {
+			return nil, fmt.Errorf("agent: no satisfiable flow for %q in context %q (candidates: %s)",
+				kind, context, strings.Join(tried, ", "))
+		}
+		return nil, fmt.Errorf("agent: no tool produces %q in context %q", kind, context)
+	}
+	memo[kind] = best
+	return best, nil
+}
+
+// Fulfill plans and executes: the hyperlink entry point.  It returns
+// the requested product, the names of the tools run (in order), and
+// merges every intermediate product into data for reuse.
+func (a *Agent) Fulfill(want string, data map[string]any, context string) (any, []string, error) {
+	if v, ok := data[want]; ok {
+		return v, nil, nil
+	}
+	have := make([]string, 0, len(data))
+	for k := range data {
+		have = append(have, k)
+	}
+	plan, err := a.Plan(want, have, context)
+	if err != nil {
+		return nil, nil, err
+	}
+	var ran []string
+	for _, t := range plan {
+		out, err := t.Run(data)
+		if err != nil {
+			return nil, ran, fmt.Errorf("agent: tool %q: %w", t.Name, err)
+		}
+		for k, v := range out {
+			data[k] = v
+		}
+		ran = append(ran, t.Name)
+	}
+	v, ok := data[want]
+	if !ok {
+		return nil, ran, fmt.Errorf("agent: flow completed but %q was not produced", want)
+	}
+	return v, ran, nil
+}

@@ -1,0 +1,193 @@
+package agent
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// flow builds a little estimation flow:
+//
+//	spec --synthesize--> netlist --characterize--> model --evaluate--> power
+//	spec --------------quick-estimate----------------------------> power (cheap, cmos only)
+func flow() *Agent {
+	a := New()
+	mk := func(name string, in, out []string, ctx []string, cost float64) *Tool {
+		return &Tool{
+			Name: name, Doc: name, Inputs: in, Outputs: out, Contexts: ctx, Cost: cost,
+			Run: func(data map[string]any) (map[string]any, error) {
+				res := map[string]any{}
+				for _, o := range out {
+					res[o] = name + "(" + fmt.Sprint(data["spec"]) + ")"
+				}
+				return res, nil
+			},
+		}
+	}
+	a.MustRegister(mk("synthesize", []string{"spec"}, []string{"netlist"}, nil, 10))
+	a.MustRegister(mk("characterize", []string{"netlist"}, []string{"model"}, nil, 20))
+	a.MustRegister(mk("evaluate", []string{"model"}, []string{"power"}, nil, 1))
+	a.MustRegister(mk("quick-estimate", []string{"spec"}, []string{"power"}, []string{"cmos"}, 2))
+	return a
+}
+
+func TestPlanPicksCheapestApplicable(t *testing.T) {
+	a := flow()
+	// In the cmos context the 2-cost shortcut beats the 31-cost chain.
+	plan, err := a.Plan("power", []string{"spec"}, "cmos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 1 || plan[0].Name != "quick-estimate" {
+		t.Errorf("plan = %v", names(plan))
+	}
+	// In another context only the full chain applies.
+	plan, err = a.Plan("power", []string{"spec"}, "bipolar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(names(plan), ","); got != "synthesize,characterize,evaluate" {
+		t.Errorf("plan = %q", got)
+	}
+}
+
+func TestPlanUsesAvailableData(t *testing.T) {
+	a := flow()
+	// With the netlist already in hand, synthesis is skipped.
+	plan, err := a.Plan("power", []string{"netlist"}, "bipolar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(names(plan), ","); got != "characterize,evaluate" {
+		t.Errorf("plan = %q", got)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	a := flow()
+	if _, err := a.Plan("layout", []string{"spec"}, "cmos"); err == nil {
+		t.Error("unknown product should fail")
+	}
+	// Unsatisfiable inputs: power needs spec or netlist upstream.
+	if _, err := a.Plan("power", nil, "bipolar"); err == nil {
+		t.Error("missing root data should fail")
+	}
+	// Cycle: two tools needing each other.
+	c := New()
+	c.MustRegister(&Tool{Name: "a", Inputs: []string{"y"}, Outputs: []string{"x"},
+		Run: func(map[string]any) (map[string]any, error) { return nil, nil }})
+	c.MustRegister(&Tool{Name: "b", Inputs: []string{"x"}, Outputs: []string{"y"},
+		Run: func(map[string]any) (map[string]any, error) { return nil, nil }})
+	if _, err := c.Plan("x", nil, ""); err == nil {
+		t.Error("cycle should fail")
+	}
+}
+
+func TestFulfillExecutesAndCaches(t *testing.T) {
+	a := flow()
+	data := map[string]any{"spec": "adder16"}
+	v, ran, err := a.Fulfill("power", data, "bipolar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(ran, ","); got != "synthesize,characterize,evaluate" {
+		t.Errorf("ran = %q", got)
+	}
+	if v == nil {
+		t.Fatal("no product")
+	}
+	// Intermediates were cached into data.
+	if _, ok := data["netlist"]; !ok {
+		t.Error("intermediate product should be cached")
+	}
+	// A second request is served from cache: no tools run.
+	_, ran2, err := a.Fulfill("power", data, "bipolar")
+	if err != nil || len(ran2) != 0 {
+		t.Errorf("cached fulfill ran %v, err %v", ran2, err)
+	}
+}
+
+func TestFulfillToolFailure(t *testing.T) {
+	a := New()
+	a.MustRegister(&Tool{
+		Name: "broken", Outputs: []string{"x"},
+		Run: func(map[string]any) (map[string]any, error) {
+			return nil, fmt.Errorf("boom")
+		},
+	})
+	_, _, err := a.Fulfill("x", map[string]any{}, "")
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("err = %v", err)
+	}
+	// A tool that claims but does not deliver its output.
+	b := New()
+	b.MustRegister(&Tool{
+		Name: "liar", Outputs: []string{"y"},
+		Run: func(map[string]any) (map[string]any, error) {
+			return map[string]any{}, nil
+		},
+	})
+	_, _, err = b.Fulfill("y", map[string]any{}, "")
+	if err == nil || !strings.Contains(err.Error(), "not produced") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	a := New()
+	run := func(map[string]any) (map[string]any, error) { return nil, nil }
+	if err := a.Register(&Tool{Outputs: []string{"x"}, Run: run}); err == nil {
+		t.Error("empty name should fail")
+	}
+	if err := a.Register(&Tool{Name: "t", Run: run}); err == nil {
+		t.Error("no outputs should fail")
+	}
+	if err := a.Register(&Tool{Name: "t", Outputs: []string{"x"}}); err == nil {
+		t.Error("nil Run should fail")
+	}
+	a.MustRegister(&Tool{Name: "t", Outputs: []string{"x"}, Run: run})
+	if err := a.Register(&Tool{Name: "t", Outputs: []string{"y"}, Run: run}); err == nil {
+		t.Error("duplicate name should fail")
+	}
+	if got := a.Tools(); len(got) != 1 || got[0] != "t" {
+		t.Errorf("Tools = %v", got)
+	}
+}
+
+func TestSharedDependencyRunsOnce(t *testing.T) {
+	// Diamond: report needs power and area, both derived from netlist;
+	// synthesize must appear once.
+	a := New()
+	count := 0
+	a.MustRegister(&Tool{Name: "synthesize", Inputs: []string{"spec"}, Outputs: []string{"netlist"},
+		Run: func(data map[string]any) (map[string]any, error) {
+			count++
+			return map[string]any{"netlist": "n"}, nil
+		}})
+	passthrough := func(out string) func(map[string]any) (map[string]any, error) {
+		return func(map[string]any) (map[string]any, error) {
+			return map[string]any{out: out}, nil
+		}
+	}
+	a.MustRegister(&Tool{Name: "power", Inputs: []string{"netlist"}, Outputs: []string{"power"}, Run: passthrough("power")})
+	a.MustRegister(&Tool{Name: "area", Inputs: []string{"netlist"}, Outputs: []string{"area"}, Run: passthrough("area")})
+	a.MustRegister(&Tool{Name: "report", Inputs: []string{"power", "area"}, Outputs: []string{"report"}, Run: passthrough("report")})
+	_, ran, err := a.Fulfill("report", map[string]any{"spec": "s"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("synthesize ran %d times", count)
+	}
+	if len(ran) != 4 {
+		t.Errorf("ran = %v", ran)
+	}
+}
+
+func names(ts []*Tool) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Name
+	}
+	return out
+}

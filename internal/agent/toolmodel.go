@@ -1,0 +1,91 @@
+package agent
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"powerplay/internal/core/model"
+)
+
+// EstimateKind is the data kind a tool flow must produce for a
+// ToolModel: a *model.Estimate.
+const EstimateKind = "estimate"
+
+// ToolModel is a library entry whose numbers come from a tool flow
+// instead of a closed-form equation — the paper's "PowerPlay will
+// accept any model and in fact will support paths to estimation tools
+// in lieu of an equation", with the Design Agent translating the
+// request into tool invocations.
+//
+// On evaluation the validated parameters are placed into the flow's
+// data pool under "params"; the agent then plans and executes whatever
+// chain of registered tools produces an EstimateKind product in the
+// model's design context.  Flows for identical parameter points are
+// cached, since tool invocations are expensive (that is the reason the
+// agent exists).
+type ToolModel struct {
+	// Meta is the library descriptor: name, class, docs and the
+	// parameter schema to validate against.
+	Meta model.Info
+	// Agent plans and runs the flow.
+	Agent *Agent
+	// Context selects applicable tools ("cmos", "bipolar").
+	Context string
+
+	mu    sync.Mutex
+	cache map[string]*model.Estimate
+}
+
+// Info implements model.Model.
+func (t *ToolModel) Info() model.Info { return t.Meta }
+
+// Evaluate implements model.Model.
+func (t *ToolModel) Evaluate(p model.Params) (*model.Estimate, error) {
+	if t.Agent == nil {
+		return nil, fmt.Errorf("tool model %q has no agent", t.Meta.Name)
+	}
+	key := p.String()
+	t.mu.Lock()
+	if est, ok := t.cache[key]; ok {
+		t.mu.Unlock()
+		return est, nil
+	}
+	t.mu.Unlock()
+
+	data := map[string]any{"params": p.Clone()}
+	v, ran, err := t.Agent.Fulfill(EstimateKind, data, t.Context)
+	if err != nil {
+		return nil, fmt.Errorf("tool model %q: %w", t.Meta.Name, err)
+	}
+	est, ok := v.(*model.Estimate)
+	if !ok {
+		return nil, fmt.Errorf("tool model %q: flow produced %T, want *model.Estimate", t.Meta.Name, v)
+	}
+	if len(ran) > 0 {
+		est.Note("derived via tool flow: %s", strings.Join(ran, " → "))
+	}
+	t.mu.Lock()
+	if t.cache == nil {
+		t.cache = make(map[string]*model.Estimate)
+	}
+	t.cache[key] = est
+	t.mu.Unlock()
+	return est, nil
+}
+
+// ParamsFrom extracts the parameter valuation a tool flow was seeded
+// with; tools call this at the start of their Run.
+func ParamsFrom(data map[string]any) (model.Params, error) {
+	v, ok := data["params"]
+	if !ok {
+		return nil, fmt.Errorf("agent: flow data has no params")
+	}
+	p, ok := v.(model.Params)
+	if !ok {
+		return nil, fmt.Errorf("agent: params product has type %T", v)
+	}
+	return p, nil
+}
+
+var _ model.Model = (*ToolModel)(nil)

@@ -1,0 +1,141 @@
+package agent
+
+import (
+	"strings"
+	"testing"
+
+	"powerplay/internal/core/model"
+	"powerplay/internal/units"
+)
+
+// estimationFlow registers a two-step flow: "synthesize" turns the
+// parameters into a gate count, "characterize" prices the gates into a
+// *model.Estimate.
+func estimationFlow(t *testing.T) (*Agent, *int) {
+	t.Helper()
+	runs := 0
+	a := New()
+	a.MustRegister(&Tool{
+		Name: "synthesize", Doc: "params -> gates",
+		Inputs: []string{"params"}, Outputs: []string{"gates"},
+		Cost: 10,
+		Run: func(data map[string]any) (map[string]any, error) {
+			p, err := ParamsFrom(data)
+			if err != nil {
+				return nil, err
+			}
+			return map[string]any{"gates": p["bits"] * 12}, nil
+		},
+	})
+	a.MustRegister(&Tool{
+		Name: "characterize", Doc: "gates -> estimate",
+		Inputs: []string{"params", "gates"}, Outputs: []string{EstimateKind},
+		Cost: 20,
+		Run: func(data map[string]any) (map[string]any, error) {
+			runs++
+			p, err := ParamsFrom(data)
+			if err != nil {
+				return nil, err
+			}
+			gates := data["gates"].(float64)
+			e := &model.Estimate{VDD: p.VDD()}
+			e.AddCap("gates", units.Farads(gates*20e-15), p.Freq())
+			return map[string]any{EstimateKind: e}, nil
+		},
+	})
+	return a, &runs
+}
+
+func TestToolModelEvaluates(t *testing.T) {
+	a, _ := estimationFlow(t)
+	tm := &ToolModel{
+		Meta: model.Info{
+			Name: "tools.synth", Title: "Synthesized block", Class: model.Computation,
+			Doc:    "priced through the design agent",
+			Params: model.WithStd(model.Param{Name: "bits", Default: 8, Min: 1, Max: 128, Integer: true}),
+		},
+		Agent: a,
+	}
+	est, err := model.Evaluate(tm, model.Params{"bits": 16, "vdd": 1.5, "f": 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 16 * 12 * 20e-15
+	if got := float64(est.SwitchedCap()); got != want {
+		t.Errorf("C_T = %v, want %v", got, want)
+	}
+	// The flow is documented in the notes.
+	found := false
+	for _, n := range est.Notes {
+		if strings.Contains(n, "synthesize → characterize") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("notes = %v", est.Notes)
+	}
+}
+
+func TestToolModelCaches(t *testing.T) {
+	a, runs := estimationFlow(t)
+	tm := &ToolModel{
+		Meta: model.Info{Name: "tools.synth",
+			Params: model.WithStd(model.Param{Name: "bits", Default: 8, Min: 1, Max: 128})},
+		Agent: a,
+	}
+	p := model.Params{"bits": 8}
+	if _, err := model.Evaluate(tm, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.Evaluate(tm, p); err != nil {
+		t.Fatal(err)
+	}
+	if *runs != 1 {
+		t.Errorf("characterize ran %d times, want 1 (cached)", *runs)
+	}
+	// A different parameter point runs the flow again.
+	if _, err := model.Evaluate(tm, model.Params{"bits": 9}); err != nil {
+		t.Fatal(err)
+	}
+	if *runs != 2 {
+		t.Errorf("characterize ran %d times, want 2", *runs)
+	}
+}
+
+func TestToolModelErrors(t *testing.T) {
+	// No agent.
+	tm := &ToolModel{Meta: model.Info{Name: "x"}}
+	if _, err := model.Evaluate(tm, nil); err == nil {
+		t.Error("missing agent should fail")
+	}
+	// Flow produces the wrong type.
+	a := New()
+	a.MustRegister(&Tool{
+		Name: "liar", Outputs: []string{EstimateKind},
+		Run: func(map[string]any) (map[string]any, error) {
+			return map[string]any{EstimateKind: 42}, nil
+		},
+	})
+	tm2 := &ToolModel{Meta: model.Info{Name: "y"}, Agent: a}
+	if _, err := model.Evaluate(tm2, nil); err == nil || !strings.Contains(err.Error(), "want *model.Estimate") {
+		t.Errorf("err = %v", err)
+	}
+	// No flow reaches the estimate.
+	tm3 := &ToolModel{Meta: model.Info{Name: "z"}, Agent: New()}
+	if _, err := model.Evaluate(tm3, nil); err == nil {
+		t.Error("empty agent should fail")
+	}
+}
+
+func TestParamsFrom(t *testing.T) {
+	if _, err := ParamsFrom(map[string]any{}); err == nil {
+		t.Error("missing params should fail")
+	}
+	if _, err := ParamsFrom(map[string]any{"params": "nope"}); err == nil {
+		t.Error("wrong type should fail")
+	}
+	p, err := ParamsFrom(map[string]any{"params": model.Params{"a": 1}})
+	if err != nil || p["a"] != 1 {
+		t.Errorf("ParamsFrom: %v %v", p, err)
+	}
+}

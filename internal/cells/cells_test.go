@@ -1,0 +1,283 @@
+package cells
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"powerplay/internal/core/model"
+	"powerplay/internal/units"
+)
+
+func almost(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func evalAt(t *testing.T, m model.Model, p model.Params) *model.Estimate {
+	t.Helper()
+	e, err := model.Evaluate(m, p)
+	if err != nil {
+		t.Fatalf("%s: %v", m.Info().Name, err)
+	}
+	return e
+}
+
+func TestLinearEQ3(t *testing.T) {
+	add := &Linear{
+		Name: "ucb.add.ripple", Title: "Ripple adder",
+		CapPerBit:  48 * units.FemtoFarad,
+		AreaPerBit: 900 * units.SquareMicron,
+		Delay0:     2e-9, DelayPerBit: 1.5e-9,
+	}
+	e := evalAt(t, add, model.Params{"bits": 16, "vdd": 1.5, "f": 2e6})
+	// EQ 3: C_T = bits · C0.
+	if got := float64(e.SwitchedCap()); !almost(got, 16*48e-15) {
+		t.Errorf("C_T = %v, want %v", got, 16*48e-15)
+	}
+	// P = C·V²·f.
+	want := 16 * 48e-15 * 2.25 * 2e6
+	if got := float64(e.Power()); !almost(got, want) {
+		t.Errorf("P = %v, want %v", got, want)
+	}
+	if got := float64(e.Area); !almost(got, 16*900e-12) {
+		t.Errorf("Area = %v", got)
+	}
+	// Ripple delay grows with bits.
+	if got := float64(e.Delay); !almost(got, 2e-9+16*1.5e-9) {
+		t.Errorf("Delay = %v", got)
+	}
+}
+
+func TestLinearActivityScales(t *testing.T) {
+	add := &Linear{Name: "a", CapPerBit: 48 * units.FemtoFarad}
+	full := evalAt(t, add, model.Params{"bits": 8, "act": 1})
+	half := evalAt(t, add, model.Params{"bits": 8, "act": 0.5})
+	if !almost(float64(half.Power())*2, float64(full.Power())) {
+		t.Errorf("act=0.5 should halve power: %v vs %v", half.Power(), full.Power())
+	}
+}
+
+func TestMultiplierEQ20(t *testing.T) {
+	mult := &Multiplier{
+		Name: "ucb.mult.array", Title: "Array multiplier",
+		CoeffUncorr: 253 * units.FemtoFarad,
+		CoeffCorr:   170 * units.FemtoFarad,
+		AreaPerBit2: 2500 * units.SquareMicron,
+		DelayPerBit: 2e-9,
+	}
+	// The paper's EQ 20 worked example: 8×8, uncorrelated, C_T = 64·253 fF.
+	e := evalAt(t, mult, model.Params{"bwA": 8, "bwB": 8, "vdd": 1.5, "f": 2e6})
+	if got := float64(e.SwitchedCap()); !almost(got, 64*253e-15) {
+		t.Errorf("C_T = %v, want %v", got, 64*253e-15)
+	}
+	// Correlated inputs switch less.
+	c := evalAt(t, mult, model.Params{"bwA": 8, "bwB": 8, "corr": Correlated})
+	if float64(c.SwitchedCap()) >= float64(e.SwitchedCap()) {
+		t.Error("correlated coefficient should reduce capacitance")
+	}
+	if got := float64(c.SwitchedCap()); !almost(got, 64*170e-15) {
+		t.Errorf("correlated C_T = %v", got)
+	}
+	// Asymmetric widths multiply.
+	a := evalAt(t, mult, model.Params{"bwA": 6, "bwB": 12})
+	if got := float64(a.SwitchedCap()); !almost(got, 72*253e-15) {
+		t.Errorf("6×12 C_T = %v", got)
+	}
+	// Bad correlation option rejected by validation.
+	if _, err := model.Evaluate(mult, model.Params{"corr": 3}); err == nil {
+		t.Error("corr=3 should be rejected")
+	}
+}
+
+func TestShifter(t *testing.T) {
+	sh := &Shifter{Name: "ucb.shift.log", CapPerBitStage: 30 * units.FemtoFarad}
+	// maxshift 15 → 4 stages.
+	e := evalAt(t, sh, model.Params{"bits": 16, "maxshift": 15})
+	if got := float64(e.SwitchedCap()); !almost(got, 16*4*30e-15) {
+		t.Errorf("C_T = %v", got)
+	}
+	// maxshift 16 → 5 stages (ceil log2 17).
+	e = evalAt(t, sh, model.Params{"bits": 16, "maxshift": 16})
+	if got := float64(e.SwitchedCap()); !almost(got, 16*5*30e-15) {
+		t.Errorf("C_T = %v", got)
+	}
+}
+
+func TestMux(t *testing.T) {
+	mux := &Mux{Name: "ucb.mux", CapPerLeg: 100 * units.FemtoFarad, DelayPerLevel: 1e-9}
+	// 4:1 mux = 3 legs, 2 tree levels.
+	e := evalAt(t, mux, model.Params{"bits": 6, "inputs": 4})
+	if got := float64(e.SwitchedCap()); !almost(got, 6*3*100e-15) {
+		t.Errorf("C_T = %v", got)
+	}
+	if got := float64(e.Delay); !almost(got, 2e-9) {
+		t.Errorf("Delay = %v", got)
+	}
+}
+
+func TestBuffer(t *testing.T) {
+	buf := &Buffer{Name: "ucb.pad", CapInternal: 250 * units.FemtoFarad, DefaultLoad: 750 * units.FemtoFarad}
+	e := evalAt(t, buf, model.Params{"bits": 6, "vdd": 1.5, "f": 2e6})
+	// act defaults to 0.5; per bit: 0.25p internal + 0.75p load.
+	want := 6 * 0.5 * (250e-15 + 750e-15)
+	if got := float64(e.SwitchedCap()); !almost(got, want) {
+		t.Errorf("C_T = %v, want %v", got, want)
+	}
+	// Heavier load costs more.
+	h := evalAt(t, buf, model.Params{"bits": 6, "cload": 2e-12})
+	if float64(h.Power()) <= float64(e.Power()) {
+		t.Error("larger cload should raise power")
+	}
+}
+
+func TestSvenssonEQ456(t *testing.T) {
+	// Two-stage slice (e.g. carry chain + sum gate).
+	blk := &Svensson{
+		Name: "ucb.add.svensson", Title: "Adder (analytical)",
+		Slice: []Stage{
+			{Label: "carry", Cin: 20 * units.FemtoFarad, Cout: 30 * units.FemtoFarad, AlphaIn: 0.5, AlphaOut: 0.25},
+			{Label: "sum", Cin: 15 * units.FemtoFarad, Cout: 25 * units.FemtoFarad, AlphaIn: 0.5, AlphaOut: 0.5},
+		},
+		DelayPerStage: 1e-9,
+	}
+	// EQ 4 per stage, EQ 5 per slice.
+	cst := 0.5*20e-15 + 0.25*30e-15 + 0.5*15e-15 + 0.5*25e-15
+	if got := float64(SliceCap(blk.Slice)); !almost(got, cst) {
+		t.Fatalf("C_ST = %v, want %v", got, cst)
+	}
+	// EQ 6: C_T = bits · C_ST.
+	e := evalAt(t, blk, model.Params{"bits": 32})
+	if got := float64(e.SwitchedCap()); !almost(got, 32*cst) {
+		t.Errorf("C_T = %v, want %v", got, 32*cst)
+	}
+	if got := float64(e.Delay); !almost(got, 2e-9) {
+		t.Errorf("Delay = %v", got)
+	}
+}
+
+func TestSvenssonNoStages(t *testing.T) {
+	blk := &Svensson{Name: "empty"}
+	if _, err := model.Evaluate(blk, nil); err == nil {
+		t.Error("empty stage list should fail")
+	}
+}
+
+func TestVoltageScalingQuadratic(t *testing.T) {
+	// Property: for any cell, power scales as V² (full-swing digital) and
+	// delay increases monotonically as V drops toward threshold.
+	mult := &Multiplier{Name: "m", CoeffUncorr: 253 * units.FemtoFarad, DelayPerBit: 1e-9}
+	f := func(raw uint8) bool {
+		v := 0.9 + float64(raw)/255*3 // 0.9 .. 3.9 V
+		lo := mustEval(mult, model.Params{"vdd": v, "f": 1e6})
+		hi := mustEval(mult, model.Params{"vdd": 2 * v, "f": 1e6})
+		if 2*v > 10 { // validation cap
+			return true
+		}
+		ratio := float64(hi.Power()) / float64(lo.Power())
+		if !almost(ratio, 4) {
+			return false
+		}
+		return float64(hi.Delay) < float64(lo.Delay)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTechnologyScaling(t *testing.T) {
+	add := &Linear{Name: "a", CapPerBit: 48 * units.FemtoFarad, AreaPerBit: 900 * units.SquareMicron}
+	ref := mustEval(add, model.Params{"bits": 8})
+	half := mustEval(add, model.Params{"bits": 8, "tech": model.RefTech / 2})
+	if !almost(float64(half.SwitchedCap())*2, float64(ref.SwitchedCap())) {
+		t.Error("capacitance should scale linearly with feature size")
+	}
+	if !almost(float64(half.Area)*4, float64(ref.Area)) {
+		t.Error("area should scale quadratically with feature size")
+	}
+}
+
+// Property: switched capacitance is linear in bit width for every
+// width-parameterized cell.
+func TestWidthLinearity(t *testing.T) {
+	cellsUnderTest := []model.Model{
+		&Linear{Name: "l", CapPerBit: 48 * units.FemtoFarad},
+		&Svensson{Name: "s", Slice: []Stage{{Cin: 10e-15, Cout: 10e-15, AlphaIn: 0.5, AlphaOut: 0.5}}},
+	}
+	f := func(raw uint8) bool {
+		bits := 1 + float64(raw%64)
+		for _, m := range cellsUnderTest {
+			one := mustEval(m, model.Params{"bits": 1})
+			n := mustEval(m, model.Params{"bits": bits})
+			if !almost(float64(n.SwitchedCap()), bits*float64(one.SwitchedCap())) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustEval(m model.Model, p model.Params) *model.Estimate {
+	e, err := model.Evaluate(m, p)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func TestDelayScaleBehaviour(t *testing.T) {
+	if got := model.DelayScale(model.RefVDD); !almost(got, 1) {
+		t.Errorf("DelayScale(ref) = %v", got)
+	}
+	if model.DelayScale(1.1) <= 1 {
+		t.Error("lower supply should be slower")
+	}
+	if model.DelayScale(3.3) >= 1 {
+		t.Error("higher supply should be faster")
+	}
+	if !math.IsInf(model.DelayScale(model.Vt), 1) {
+		t.Error("at threshold the circuit should not run")
+	}
+	if !math.IsInf(model.MaxFreq(0), 1) {
+		t.Error("MaxFreq(0) should be +Inf")
+	}
+	if got := model.MaxFreq(1e-8); !almost(got, 1e8) {
+		t.Errorf("MaxFreq = %v", got)
+	}
+}
+
+func TestInfoSchemas(t *testing.T) {
+	// Every cell exposes vdd/f/tech plus its own parameters, with sane
+	// defaults that validate against their own constraints.
+	ms := []model.Model{
+		&Linear{Name: "l"},
+		&Multiplier{Name: "m", CoeffUncorr: 1e-15, CoeffCorr: 1e-15},
+		&Shifter{Name: "s"},
+		&Mux{Name: "x"},
+		&Buffer{Name: "b"},
+		&Svensson{Name: "v", Slice: []Stage{{Cin: 1e-15}}},
+	}
+	for _, m := range ms {
+		info := m.Info()
+		seen := map[string]bool{}
+		for _, p := range info.Params {
+			if seen[p.Name] {
+				t.Errorf("%s: duplicate param %q", info.Name, p.Name)
+			}
+			seen[p.Name] = true
+			if err := p.Check(p.Default); err != nil {
+				t.Errorf("%s: default of %q fails its own check: %v", info.Name, p.Name, err)
+			}
+		}
+		for _, req := range []string{"vdd", "f", "tech"} {
+			if !seen[req] {
+				t.Errorf("%s: missing standard param %q", info.Name, req)
+			}
+		}
+		if _, err := model.Evaluate(m, nil); err != nil {
+			t.Errorf("%s: evaluate at defaults: %v", info.Name, err)
+		}
+	}
+}

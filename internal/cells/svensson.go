@@ -1,0 +1,95 @@
+package cells
+
+import (
+	"fmt"
+
+	"powerplay/internal/core/model"
+	"powerplay/internal/units"
+)
+
+// Stage is one PMOS pull-up / NMOS pull-down configuration of a bit
+// slice in Svensson's analytical model (EQ 4):
+//
+//	C_S = αin·Cin + αout·Cout
+//
+// where αin and αout are the transition probabilities at the stage's
+// input and output and Cin, Cout the physical capacitances.
+type Stage struct {
+	// Label names the stage ("carry gate", "sum XOR").
+	Label string
+	// Cin is the physical input capacitance of the stage.
+	Cin units.Farads
+	// Cout is the physical output capacitance of the stage.
+	Cout units.Farads
+	// AlphaIn is the probability of an input transition per operation.
+	AlphaIn float64
+	// AlphaOut is the probability of an output transition per operation.
+	AlphaOut float64
+}
+
+// Cap returns the stage's average switched capacitance (EQ 4).
+func (s Stage) Cap() units.Farads {
+	return units.Farads(s.AlphaIn*float64(s.Cin) + s.AlphaOut*float64(s.Cout))
+}
+
+// SliceCap sums the per-stage capacitances of a bit slice (EQ 5).
+func SliceCap(stages []Stage) units.Farads {
+	var c units.Farads
+	for _, s := range stages {
+		c += s.Cap()
+	}
+	return c
+}
+
+// Svensson is an analytically modeled block: a bit slice described
+// stage-by-stage, replicated across the datapath width (EQ 6):
+// C_T = bits · C_ST.  Unlike the Landman cells no characterization
+// simulations are required — only the stage capacitances from layout
+// or gate counts.
+type Svensson struct {
+	// Name, Title, Doc identify the block in the library.
+	Name, Title, Doc string
+	// Slice is the stage list of one bit slice.
+	Slice []Stage
+	// AreaPerBit is the layout area per bit slice.
+	AreaPerBit units.SquareMeters
+	// DelayPerStage approximates critical path = len(Slice)·DelayPerStage.
+	DelayPerStage units.Seconds
+	// DefaultBits seeds the input form.
+	DefaultBits int
+}
+
+// Info implements model.Model.
+func (s *Svensson) Info() model.Info {
+	db := s.DefaultBits
+	if db == 0 {
+		db = 8
+	}
+	return model.Info{
+		Name:  s.Name,
+		Title: s.Title,
+		Class: model.Computation,
+		Doc:   s.Doc,
+		Params: model.WithStd(
+			model.Param{Name: "bits", Doc: "datapath width (bit slices)", Default: float64(db), Min: 1, Max: 256, Integer: true},
+			model.Param{Name: "act", Doc: "scale on all transition probabilities (1 = as characterized)", Default: 1, Min: 0, Max: 2},
+		),
+	}
+}
+
+// Evaluate implements model.Model.
+func (s *Svensson) Evaluate(p model.Params) (*model.Estimate, error) {
+	if len(s.Slice) == 0 {
+		return nil, fmt.Errorf("svensson block %q has no stages", s.Name)
+	}
+	scale := model.CapScale(p[model.ParamTech])
+	cst := float64(SliceCap(s.Slice)) * p["act"] * scale
+	e := &model.Estimate{VDD: p.VDD()}
+	e.AddCap("bit slices", units.Farads(p["bits"]*cst), p.Freq())
+	e.Area = units.SquareMeters(p["bits"] * float64(s.AreaPerBit) * scale * scale)
+	e.Delay = units.Seconds(float64(len(s.Slice)) * float64(s.DelayPerStage) * model.DelayScale(float64(p.VDD())))
+	e.Note("Svensson analytical model: %d stages per slice, C_ST = %s", len(s.Slice), SliceCap(s.Slice))
+	return e, nil
+}
+
+var _ model.Model = (*Svensson)(nil)

@@ -1,0 +1,219 @@
+// Package explore implements the design-space exploration loops that
+// PowerPlay's spreadsheet exists to serve: parameter sweeps, power/
+// delay trade-off (Pareto) extraction, and operating-point solvers.
+//
+// The paper's enabler #3 is "a spread-sheet-like work sheet … which
+// allows the study of the impact of parameter variations (such as
+// supply voltage and clock frequency)".  The sheet's EvaluateAt gives
+// single points; this package drives it across ranges and digests the
+// results into the decisions an early-phase designer actually makes:
+// which architecture wins where, how low the supply can go for a given
+// throughput, and what the energy cost of headroom is.
+package explore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"powerplay/internal/core/sheet"
+)
+
+// Point is one evaluated design point.
+type Point struct {
+	// Vars holds the overridden variables at this point.
+	Vars map[string]float64
+	// Power, Area and Delay are the design totals.
+	Power, Area, Delay float64
+}
+
+// EDP returns the energy-delay product proxy P·D² (power × delay² is
+// the voltage-independent figure of merit for CMOS).
+func (p Point) EDP() float64 { return p.Power * p.Delay * p.Delay }
+
+// Linspace returns n evenly spaced values across [lo, hi].
+func Linspace(lo, hi float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}
+
+// Geomspace returns n logarithmically spaced values across [lo, hi];
+// both bounds must be positive.
+func Geomspace(lo, hi float64, n int) []float64 {
+	if n <= 0 || lo <= 0 || hi <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	v := lo
+	for i := range out {
+		out[i] = v
+		v *= ratio
+	}
+	return out
+}
+
+// Sweep evaluates the design across values of one variable.
+func Sweep(d *sheet.Design, name string, values []float64) ([]Point, error) {
+	out := make([]Point, 0, len(values))
+	for _, v := range values {
+		r, err := d.EvaluateAt(map[string]float64{name: v})
+		if err != nil {
+			return nil, fmt.Errorf("explore: %s=%g: %w", name, v, err)
+		}
+		out = append(out, Point{
+			Vars:  map[string]float64{name: v},
+			Power: float64(r.Power), Area: float64(r.Area), Delay: float64(r.Delay),
+		})
+	}
+	return out, nil
+}
+
+// Sweep2D evaluates the cross product of two variables, row-major in
+// the first variable.
+func Sweep2D(d *sheet.Design, n1 string, v1 []float64, n2 string, v2 []float64) ([]Point, error) {
+	out := make([]Point, 0, len(v1)*len(v2))
+	for _, a := range v1 {
+		for _, b := range v2 {
+			r, err := d.EvaluateAt(map[string]float64{n1: a, n2: b})
+			if err != nil {
+				return nil, fmt.Errorf("explore: %s=%g %s=%g: %w", n1, a, n2, b, err)
+			}
+			out = append(out, Point{
+				Vars:  map[string]float64{n1: a, n2: b},
+				Power: float64(r.Power), Area: float64(r.Area), Delay: float64(r.Delay),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Pareto returns the power/delay non-dominated subset of points,
+// sorted by increasing power.  A point is dominated when another point
+// is no worse in both power and delay and strictly better in one.
+func Pareto(points []Point) []Point {
+	var out []Point
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			if q.Power <= p.Power && q.Delay <= p.Delay &&
+				(q.Power < p.Power || q.Delay < p.Delay) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Power != out[j].Power {
+			return out[i].Power < out[j].Power
+		}
+		return out[i].Delay < out[j].Delay
+	})
+	return out
+}
+
+// MinSupply finds, by bisection, the lowest supply voltage in
+// [lo, hi] at which the design's critical path still meets the cycle
+// time 1/fTarget.  It relies on delay decreasing monotonically with
+// supply (the alpha-power law all library delays follow).  It returns
+// an error if even hi misses the target or the design fails to
+// evaluate.
+func MinSupply(d *sheet.Design, fTarget, lo, hi float64) (float64, error) {
+	if !(lo > 0 && hi > lo) {
+		return 0, fmt.Errorf("explore: bad supply range [%g, %g]", lo, hi)
+	}
+	if fTarget <= 0 {
+		return 0, fmt.Errorf("explore: bad frequency target %g", fTarget)
+	}
+	target := 1 / fTarget
+	meets := func(vdd float64) (bool, error) {
+		r, err := d.EvaluateAt(map[string]float64{"vdd": vdd})
+		if err != nil {
+			return false, err
+		}
+		return float64(r.Delay) <= target, nil
+	}
+	ok, err := meets(hi)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("explore: target %g Hz unreachable even at %g V", fTarget, hi)
+	}
+	if ok, err := meets(lo); err != nil {
+		return 0, err
+	} else if ok {
+		return lo, nil
+	}
+	for i := 0; i < 60 && hi-lo > 1e-4; i++ {
+		mid := (lo + hi) / 2
+		ok, err := meets(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// SupplySavings reports the power saved by running a design at the
+// minimum supply that still meets fTarget, versus a nominal supply.
+type SupplySavings struct {
+	// NominalVDD and MinVDD are the compared operating points.
+	NominalVDD, MinVDD float64
+	// NominalPower and MinPower are the design totals at each.
+	NominalPower, MinPower float64
+}
+
+// Saving returns the fractional reduction.
+func (s SupplySavings) Saving() float64 {
+	if s.NominalPower == 0 {
+		return 0
+	}
+	return 1 - s.MinPower/s.NominalPower
+}
+
+// VoltageScale computes the classic voltage-scaling exploration: find
+// the minimum supply meeting fTarget within [lo, nominal] and compare
+// power against running at the nominal supply.
+func VoltageScale(d *sheet.Design, fTarget, lo, nominal float64) (SupplySavings, error) {
+	min, err := MinSupply(d, fTarget, lo, nominal)
+	if err != nil {
+		return SupplySavings{}, err
+	}
+	rNom, err := d.EvaluateAt(map[string]float64{"vdd": nominal})
+	if err != nil {
+		return SupplySavings{}, err
+	}
+	rMin, err := d.EvaluateAt(map[string]float64{"vdd": min})
+	if err != nil {
+		return SupplySavings{}, err
+	}
+	return SupplySavings{
+		NominalVDD: nominal, MinVDD: min,
+		NominalPower: float64(rNom.Power), MinPower: float64(rMin.Power),
+	}, nil
+}

@@ -1,0 +1,214 @@
+package explore
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"powerplay/internal/core/model"
+	"powerplay/internal/core/sheet"
+	"powerplay/internal/units"
+)
+
+func almost(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// testDesign builds a one-row design whose cell has quadratic power and
+// alpha-power-law delay in vdd — the canonical CMOS trade-off.
+func testDesign(t *testing.T) *sheet.Design {
+	t.Helper()
+	reg := model.NewRegistry()
+	reg.MustRegister(&model.Func{
+		Meta: model.Info{
+			Name: "cell", Title: "t", Class: model.Computation, Doc: "d",
+			Params: model.WithStd(),
+		},
+		Fn: func(p model.Params) (*model.Estimate, error) {
+			e := &model.Estimate{VDD: p.VDD()}
+			e.AddCap("c", 100*units.PicoFarad, p.Freq())
+			e.Delay = units.Seconds(20e-9 * model.DelayScale(float64(p.VDD())))
+			e.Area = 1e-8
+			return e, nil
+		},
+	})
+	d := sheet.NewDesign("t", reg)
+	d.Root.SetGlobalValue("vdd", 1.5, "1.5")
+	d.Root.SetGlobalValue("f", 1e6, "1MHz")
+	d.Root.MustAddChild("x", "cell")
+	return d
+}
+
+func TestLinspace(t *testing.T) {
+	got := Linspace(1, 3, 5)
+	want := []float64{1, 1.5, 2, 2.5, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if !almost(got[i], want[i]) {
+			t.Errorf("Linspace[%d] = %v", i, got[i])
+		}
+	}
+	if Linspace(1, 3, 0) != nil {
+		t.Error("n=0 should be nil")
+	}
+	if got := Linspace(2, 9, 1); len(got) != 1 || got[0] != 2 {
+		t.Errorf("n=1: %v", got)
+	}
+}
+
+func TestGeomspace(t *testing.T) {
+	got := Geomspace(1, 16, 5)
+	want := []float64{1, 2, 4, 8, 16}
+	for i := range want {
+		if !almost(got[i], want[i]) {
+			t.Errorf("Geomspace[%d] = %v", i, got[i])
+		}
+	}
+	if Geomspace(-1, 16, 5) != nil || Geomspace(1, 16, 0) != nil {
+		t.Error("bad inputs should be nil")
+	}
+}
+
+func TestSweepQuadraticPower(t *testing.T) {
+	d := testDesign(t)
+	pts, err := Sweep(d, "vdd", []float64{1.5, 3.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("pts = %v", pts)
+	}
+	if !almost(pts[1].Power, 4*pts[0].Power) {
+		t.Errorf("power should be quadratic in vdd: %v", pts)
+	}
+	if !(pts[1].Delay < pts[0].Delay) {
+		t.Error("delay should fall with supply")
+	}
+	if pts[0].Vars["vdd"] != 1.5 {
+		t.Error("Vars should carry the overrides")
+	}
+	// Errors propagate with the point identified.
+	if _, err := Sweep(d, "vdd", []float64{-1}); err == nil {
+		t.Error("invalid supply should fail")
+	}
+}
+
+func TestSweep2D(t *testing.T) {
+	d := testDesign(t)
+	pts, err := Sweep2D(d, "vdd", []float64{1.5, 3}, "f", []float64{1e6, 2e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	// Row-major: pts[1] is vdd=1.5, f=2e6 — double the power of pts[0].
+	if !almost(pts[1].Power, 2*pts[0].Power) {
+		t.Errorf("frequency axis: %v vs %v", pts[1].Power, pts[0].Power)
+	}
+}
+
+func TestPareto(t *testing.T) {
+	pts := []Point{
+		{Power: 1, Delay: 10},
+		{Power: 2, Delay: 5},
+		{Power: 3, Delay: 6}, // dominated by (2,5)
+		{Power: 4, Delay: 1},
+		{Power: 5, Delay: 1},  // dominated by (4,1)
+		{Power: 1, Delay: 12}, // dominated by (1,10)
+	}
+	front := Pareto(pts)
+	if len(front) != 3 {
+		t.Fatalf("front = %v", front)
+	}
+	if front[0].Power != 1 || front[1].Power != 2 || front[2].Power != 4 {
+		t.Errorf("front order = %v", front)
+	}
+}
+
+// Property: the voltage sweep of a CMOS design is entirely
+// non-dominated (lower V ⇒ less power but more delay), so Pareto keeps
+// every point.
+func TestQuickSweepIsFrontier(t *testing.T) {
+	d := testDesign(t)
+	f := func(raw uint8) bool {
+		n := int(raw%6) + 2
+		pts, err := Sweep(d, "vdd", Linspace(1.0, 3.3, n))
+		if err != nil {
+			return false
+		}
+		return len(Pareto(pts)) == len(pts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinSupply(t *testing.T) {
+	d := testDesign(t)
+	// At 1.5 V the cell runs at 20 ns (50 MHz).  Ask for something
+	// slower: the minimum supply must drop below 1.5 V.
+	v, err := MinSupply(d, 20e6, 0.9, 3.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v >= 1.5 || v <= 0.9 {
+		t.Errorf("MinSupply = %v, want in (0.9, 1.5)", v)
+	}
+	// The returned voltage meets the target; a hair lower misses it.
+	r, _ := d.EvaluateAt(map[string]float64{"vdd": v})
+	if float64(r.Delay) > 1/20e6+1e-12 {
+		t.Errorf("returned supply misses target: %v", r.Delay)
+	}
+	r2, _ := d.EvaluateAt(map[string]float64{"vdd": v - 0.01})
+	if float64(r2.Delay) <= 1/20e6 {
+		t.Error("MinSupply not tight")
+	}
+	// Unreachable target.
+	if _, err := MinSupply(d, 10e9, 0.9, 3.3); err == nil {
+		t.Error("10GHz should be unreachable")
+	}
+	// lo already meets the target.
+	v, err = MinSupply(d, 1e3, 0.9, 3.3)
+	if err != nil || v != 0.9 {
+		t.Errorf("easy target: %v, %v", v, err)
+	}
+	// Bad arguments.
+	if _, err := MinSupply(d, 1e6, 3, 1); err == nil {
+		t.Error("inverted range should fail")
+	}
+	if _, err := MinSupply(d, 0, 1, 3); err == nil {
+		t.Error("zero target should fail")
+	}
+}
+
+func TestVoltageScale(t *testing.T) {
+	d := testDesign(t)
+	s, err := VoltageScale(d, 20e6, 0.9, 3.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MinVDD >= s.NominalVDD {
+		t.Errorf("scaling found nothing: %+v", s)
+	}
+	if s.Saving() <= 0.5 {
+		t.Errorf("quadratic savings expected, got %.0f%%", 100*s.Saving())
+	}
+	// Power ratio ≈ (Vmin/Vnom)².
+	want := (s.MinVDD / s.NominalVDD) * (s.MinVDD / s.NominalVDD)
+	if got := s.MinPower / s.NominalPower; math.Abs(got-want) > 1e-3 {
+		t.Errorf("ratio = %v, want %v", got, want)
+	}
+	if (SupplySavings{}).Saving() != 0 {
+		t.Error("zero value should be safe")
+	}
+}
+
+func TestEDP(t *testing.T) {
+	p := Point{Power: 2, Delay: 3}
+	if p.EDP() != 18 {
+		t.Errorf("EDP = %v", p.EDP())
+	}
+}

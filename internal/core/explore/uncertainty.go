@@ -1,0 +1,100 @@
+package explore
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"powerplay/internal/core/sheet"
+)
+
+// The paper's accuracy target: "At this level of abstraction, accuracy
+// should be within an octave of the actual value."  Uncertainty makes
+// that claim quantitative: every library coefficient is an empirical
+// characterization with error, so each leaf estimate is treated as a
+// lognormally distributed value centred on the model output, and the
+// design total's distribution follows by Monte Carlo.  Because a sheet
+// sums many leaves, relative error at the top shrinks below the
+// per-model error — the structural reason a pile of ±50 % models can
+// still deliver an octave-accurate total.
+
+// Distribution summarizes the sampled totals.
+type Distribution struct {
+	// Median is the 50th percentile of the total.
+	Median float64
+	// P05 and P95 bound the central 90 %.
+	P05, P95 float64
+	// Mean is the sample mean.
+	Mean float64
+	// OctaveProb is the fraction of samples within a factor of two of
+	// the nominal (unperturbed) total.
+	OctaveProb float64
+	// Nominal is the unperturbed total the samples are compared to.
+	Nominal float64
+}
+
+// Uncertainty perturbs every leaf estimate of an evaluated design with
+// independent lognormal noise of the given relative sigma (e.g. 0.5
+// for "each model is good to roughly ±50 %") and Monte-Carlo samples
+// the total power distribution.
+func Uncertainty(r *sheet.Result, relSigma float64, samples int, seed int64) (Distribution, error) {
+	if relSigma < 0 {
+		return Distribution{}, fmt.Errorf("explore: negative sigma %g", relSigma)
+	}
+	if samples < 10 {
+		return Distribution{}, fmt.Errorf("explore: need at least 10 samples, got %d", samples)
+	}
+	var leaves []float64
+	var walk func(*sheet.Result)
+	walk = func(rr *sheet.Result) {
+		if rr.Estimate != nil {
+			leaves = append(leaves, float64(rr.Estimate.Power()))
+		}
+		for _, c := range rr.Children {
+			walk(c)
+		}
+	}
+	walk(r)
+	if len(leaves) == 0 {
+		return Distribution{}, fmt.Errorf("explore: design has no model rows")
+	}
+	nominal := 0.0
+	for _, p := range leaves {
+		nominal += p
+	}
+	// Lognormal with median 1: exp(sigma·N(0,1)), sigma chosen so that
+	// one standard deviation of the factor is about 1±relSigma.
+	sigma := math.Log(1 + relSigma)
+	rng := rand.New(rand.NewSource(seed))
+	totals := make([]float64, samples)
+	within := 0
+	for i := range totals {
+		var sum float64
+		for _, p := range leaves {
+			sum += p * math.Exp(sigma*rng.NormFloat64())
+		}
+		totals[i] = sum
+		if sum <= 2*nominal && sum >= nominal/2 {
+			within++
+		}
+	}
+	sort.Float64s(totals)
+	var mean float64
+	for _, v := range totals {
+		mean += v
+	}
+	mean /= float64(samples)
+	pct := func(p float64) float64 {
+		idx := int(p * float64(samples-1))
+		return totals[idx]
+	}
+	return Distribution{
+		Median:     pct(0.50),
+		P05:        pct(0.05),
+		P95:        pct(0.95),
+		Mean:       mean,
+		OctaveProb: float64(within) / float64(samples),
+		Nominal:    nominal,
+	}, nil
+}

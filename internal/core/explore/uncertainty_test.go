@@ -1,0 +1,113 @@
+package explore
+
+import (
+	"math"
+	"testing"
+
+	"powerplay/internal/core/sheet"
+)
+
+// manyLeafDesign builds a sheet with n identical rows.
+func manyLeafDesign(t *testing.T, n int) *sheet.Result {
+	t.Helper()
+	d := testDesign(t)
+	for i := 1; i < n; i++ {
+		d.Root.MustAddChild(nameFor(i), "cell")
+	}
+	r, err := d.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func nameFor(i int) string {
+	return "x" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+}
+
+func TestUncertaintyBasics(t *testing.T) {
+	r := manyLeafDesign(t, 8)
+	dist, err := Uncertainty(r, 0.5, 4000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The nominal equals the design total.
+	if !almost(dist.Nominal, float64(r.Power)) {
+		t.Errorf("nominal = %v, total = %v", dist.Nominal, r.Power)
+	}
+	// The median sits near the nominal (lognormal has median 1).
+	if math.Abs(dist.Median-dist.Nominal)/dist.Nominal > 0.10 {
+		t.Errorf("median %v strays from nominal %v", dist.Median, dist.Nominal)
+	}
+	// Percentiles are ordered.
+	if !(dist.P05 < dist.Median && dist.Median < dist.P95) {
+		t.Errorf("percentiles out of order: %+v", dist)
+	}
+	// With ±50% per-model error over 8 averaging leaves, octave
+	// accuracy is near-certain — the paper's claim.
+	if dist.OctaveProb < 0.99 {
+		t.Errorf("octave probability = %v", dist.OctaveProb)
+	}
+}
+
+func TestUncertaintyAveragingEffect(t *testing.T) {
+	// More leaves tighten the total: P95/P05 shrinks with row count.
+	one := manyLeafDesign(t, 1)
+	many := manyLeafDesign(t, 32)
+	d1, err := Uncertainty(one, 0.6, 4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d32, err := Uncertainty(many, 0.6, 4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread1 := d1.P95 / d1.P05
+	spread32 := d32.P95 / d32.P05
+	if spread32 >= spread1 {
+		t.Errorf("averaging should tighten the total: 1 leaf %.2fx, 32 leaves %.2fx", spread1, spread32)
+	}
+}
+
+func TestUncertaintyZeroSigma(t *testing.T) {
+	r := manyLeafDesign(t, 4)
+	dist, err := Uncertainty(r, 0, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(dist.P05, dist.P95) || !almost(dist.Median, dist.Nominal) {
+		t.Errorf("zero sigma should collapse the distribution: %+v", dist)
+	}
+	if dist.OctaveProb != 1 {
+		t.Error("zero sigma is always within the octave")
+	}
+}
+
+func TestUncertaintyErrors(t *testing.T) {
+	r := manyLeafDesign(t, 2)
+	if _, err := Uncertainty(r, -1, 100, 1); err == nil {
+		t.Error("negative sigma should fail")
+	}
+	if _, err := Uncertainty(r, 0.5, 5, 1); err == nil {
+		t.Error("too few samples should fail")
+	}
+	// A design with no model rows.
+	d := sheet.NewDesign("empty", nil)
+	empty := &sheet.Result{Node: d.Root}
+	if _, err := Uncertainty(empty, 0.5, 100, 1); err == nil {
+		t.Error("no leaves should fail")
+	}
+}
+
+func TestUncertaintyDeterministicSeed(t *testing.T) {
+	r := manyLeafDesign(t, 4)
+	a, _ := Uncertainty(r, 0.5, 500, 42)
+	b, _ := Uncertainty(r, 0.5, 500, 42)
+	if a != b {
+		t.Error("same seed should reproduce the distribution")
+	}
+	c, _ := Uncertainty(r, 0.5, 500, 43)
+	if a == c {
+		t.Error("different seeds should differ")
+	}
+}

@@ -1,0 +1,128 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Param describes one input parameter of a model: the fields the web
+// input form (Figure 4 of the paper) renders, and the constraints
+// Validate enforces.
+type Param struct {
+	// Name is the parameter key ("bits", "words", "vdd").
+	Name string
+	// Doc is the one-line description shown next to the form field.
+	Doc string
+	// Unit is the display unit symbol ("V", "Hz", "F", ""), used only
+	// for presentation.
+	Unit string
+	// Default is the value used when the caller does not bind the
+	// parameter.
+	Default float64
+	// Min and Max bound the legal range when Min < Max.  When both are
+	// zero the parameter is unconstrained.
+	Min, Max float64
+	// Integer requires a whole-number value.
+	Integer bool
+	// Options, when non-empty, restricts the parameter to an enumerated
+	// choice (e.g. multiplier input correlation); forms render a menu.
+	Options []Option
+}
+
+// Option is one enumerated choice of a Param.
+type Option struct {
+	// Label is the menu text ("uncorrelated inputs").
+	Label string
+	// Value is the numeric encoding stored in Params.
+	Value float64
+}
+
+// Bounded reports whether the parameter carries a range constraint.
+func (p Param) Bounded() bool { return p.Min < p.Max }
+
+// Check validates a single value against the parameter's constraints.
+func (p Param) Check(v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("parameter %q: value must be finite, got %v", p.Name, v)
+	}
+	if p.Integer && v != math.Trunc(v) {
+		return fmt.Errorf("parameter %q: must be an integer, got %v", p.Name, v)
+	}
+	if p.Bounded() && (v < p.Min || v > p.Max) {
+		return fmt.Errorf("parameter %q: %v outside [%g, %g]", p.Name, v, p.Min, p.Max)
+	}
+	if len(p.Options) > 0 {
+		for _, o := range p.Options {
+			if o.Value == v {
+				return nil
+			}
+		}
+		return fmt.Errorf("parameter %q: %v is not one of the allowed options", p.Name, v)
+	}
+	return nil
+}
+
+// Validate checks a parameter valuation against a schema and returns a
+// complete copy with defaults filled in.  Unknown parameter names are
+// rejected, except the conventional scope parameters (vdd, f, tech),
+// which are always allowed through so that enclosing-sheet globals can
+// be handed to any model.
+func Validate(schema []Param, in Params) (Params, error) {
+	known := make(map[string]Param, len(schema))
+	for _, p := range schema {
+		known[p.Name] = p
+	}
+	out := make(Params, len(schema)+3)
+	for name, v := range in {
+		p, ok := known[name]
+		if !ok {
+			switch name {
+			case ParamVDD, ParamFreq, ParamTech:
+				out[name] = v
+				continue
+			}
+			return nil, fmt.Errorf("unknown parameter %q", name)
+		}
+		if err := p.Check(v); err != nil {
+			return nil, err
+		}
+		out[name] = v
+	}
+	for _, p := range schema {
+		if _, ok := out[p.Name]; !ok {
+			out[p.Name] = p.Default
+		}
+	}
+	return out, nil
+}
+
+// Std returns the conventional scope parameters that nearly every model
+// shares, with library-wide defaults: 1.5 V supply (the UCB low-power
+// process operating point) and a 1 MHz default frequency.
+func Std() []Param {
+	return []Param{
+		{Name: ParamVDD, Doc: "supply voltage", Unit: "V", Default: 1.5, Min: 0.5, Max: 10},
+		{Name: ParamFreq, Doc: "operating frequency", Unit: "Hz", Default: 1e6, Min: 0, Max: 10e9},
+		{Name: ParamTech, Doc: "feature size (0 = library reference)", Unit: "m", Default: 0, Min: 0, Max: 1e-5},
+	}
+}
+
+// WithStd prepends the conventional scope parameters to a model-specific
+// schema.
+func WithStd(params ...Param) []Param {
+	return append(Std(), params...)
+}
+
+// Evaluate validates p against m's schema and evaluates the model: the
+// single entry point callers outside a model implementation should use.
+func Evaluate(m Model, p Params) (*Estimate, error) {
+	full, err := Validate(m.Info().Params, p)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", m.Info().Name, err)
+	}
+	est, err := m.Evaluate(full)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", m.Info().Name, err)
+	}
+	return est, nil
+}

@@ -1,0 +1,114 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry is a thread-safe name → Model table: one PowerPlay library
+// namespace.  The web server holds one registry per site; remote
+// libraries are mounted into it under a prefix.
+type Registry struct {
+	mu     sync.RWMutex
+	models map[string]Model
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{models: make(map[string]Model)}
+}
+
+// Register adds a model under its Info().Name.  Re-registering a name
+// replaces the previous model (user-defined models may be edited).
+func (r *Registry) Register(m Model) error {
+	name := m.Info().Name
+	if name == "" {
+		return fmt.Errorf("model has empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.models[name] = m
+	return nil
+}
+
+// MustRegister is Register that panics on error, for library init code.
+func (r *Registry) MustRegister(m Model) {
+	if err := r.Register(m); err != nil {
+		panic(err)
+	}
+}
+
+// Unregister removes a model; it reports whether the name was present.
+func (r *Registry) Unregister(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.models[name]
+	delete(r.models, name)
+	return ok
+}
+
+// Lookup finds a model by name.
+func (r *Registry) Lookup(name string) (Model, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.models[name]
+	return m, ok
+}
+
+// Names returns all registered names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.models))
+	for n := range r.models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByClass returns the sorted names of models in the given class.
+func (r *Registry) ByClass(c Class) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var names []string
+	for n, m := range r.models {
+		if m.Info().Class == c {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of registered models.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.models)
+}
+
+// Evaluate looks up a model and evaluates it with validation.
+func (r *Registry) Evaluate(name string, p Params) (*Estimate, error) {
+	m, ok := r.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("no model named %q in library", name)
+	}
+	return Evaluate(m, p)
+}
+
+// Func adapts an evaluation function plus an Info into a Model: the
+// quickest way to define built-in characterized cells.
+type Func struct {
+	// Meta is the descriptor returned by Info.
+	Meta Info
+	// Fn computes the estimate.
+	Fn func(p Params) (*Estimate, error)
+}
+
+// Info returns the descriptor.
+func (f *Func) Info() Info { return f.Meta }
+
+// Evaluate runs the wrapped function.
+func (f *Func) Evaluate(p Params) (*Estimate, error) { return f.Fn(p) }

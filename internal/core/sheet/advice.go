@@ -1,0 +1,153 @@
+package sheet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"powerplay/internal/core/model"
+	"powerplay/internal/units"
+)
+
+// The paper's System Design section: "When working on power-
+// minimization, it is important to identify both the major power
+// consumers and the point of diminishing returns."  Advice digests an
+// evaluated sheet into exactly that: each leaf row's share of the
+// total, and the Amdahl bound — how much the system total could drop
+// if that row were optimized to zero.
+
+// AdviceRow is one ranked consumer.
+type AdviceRow struct {
+	// Path locates the row.
+	Path string
+	// Power is the row's own (model) power.
+	Power units.Watts
+	// Share is the row's fraction of the design total.
+	Share float64
+	// MaxGain is the largest possible fractional reduction of the
+	// design total from optimizing only this row (Amdahl's bound).
+	MaxGain float64
+}
+
+// Advice ranks every model row of an evaluated design by power,
+// largest first.
+func Advice(r *Result) []AdviceRow {
+	total := float64(r.Power)
+	var rows []AdviceRow
+	var walk func(*Result)
+	walk = func(rr *Result) {
+		if rr.Estimate != nil {
+			p := float64(rr.Estimate.Power())
+			row := AdviceRow{Path: rr.Node.Path(), Power: units.Watts(p)}
+			if total > 0 {
+				row.Share = p / total
+				row.MaxGain = p / total
+			}
+			rows = append(rows, row)
+		}
+		for _, c := range rr.Children {
+			walk(c)
+		}
+	}
+	walk(r)
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Power != rows[j].Power {
+			return rows[i].Power > rows[j].Power
+		}
+		return rows[i].Path < rows[j].Path
+	})
+	return rows
+}
+
+// DiminishingReturns returns the smallest set of top consumers that
+// together cover the given fraction of total power: the rows worth an
+// engineer's time.  Everything after them is past the point of
+// diminishing returns.
+func DiminishingReturns(r *Result, coverage float64) []AdviceRow {
+	rows := Advice(r)
+	var out []AdviceRow
+	var acc float64
+	for _, row := range rows {
+		if acc >= coverage {
+			break
+		}
+		out = append(out, row)
+		acc += row.Share
+	}
+	return out
+}
+
+// TimingRow is one row of a timing report.
+type TimingRow struct {
+	// Path locates the row.
+	Path string
+	// Delay is the row's critical path.
+	Delay units.Seconds
+	// MaxFreq is 1/Delay.
+	MaxFreq units.Hertz
+	// SlackSeconds is cycleTime − delay; negative means the row cannot
+	// run at the target frequency.
+	SlackSeconds float64
+	// Meets reports SlackSeconds >= 0.
+	Meets bool
+}
+
+// TimingReport checks every model row of an evaluated design against a
+// target clock frequency — the "timing analysis" column of the
+// worksheet.  Rows with no timing model (zero delay) are skipped.
+func TimingReport(r *Result, fTarget units.Hertz) ([]TimingRow, error) {
+	if fTarget <= 0 {
+		return nil, fmt.Errorf("sheet: bad frequency target %v", fTarget)
+	}
+	cycle := 1 / float64(fTarget)
+	var rows []TimingRow
+	var walk func(*Result)
+	walk = func(rr *Result) {
+		if rr.Estimate != nil && rr.Estimate.Delay > 0 {
+			d := float64(rr.Estimate.Delay)
+			rows = append(rows, TimingRow{
+				Path:         rr.Node.Path(),
+				Delay:        rr.Estimate.Delay,
+				MaxFreq:      units.Hertz(model.MaxFreq(d)),
+				SlackSeconds: cycle - d,
+				Meets:        d <= cycle,
+			})
+		}
+		for _, c := range rr.Children {
+			walk(c)
+		}
+	}
+	walk(r)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].SlackSeconds < rows[j].SlackSeconds })
+	return rows, nil
+}
+
+// CriticalRow returns the slowest model row, or nil if no row carries
+// timing.
+func CriticalRow(r *Result) *TimingRow {
+	rows, err := TimingReport(r, units.Hertz(1)) // any positive target
+	if err != nil || len(rows) == 0 {
+		return nil
+	}
+	crit := rows[0]
+	for _, row := range rows {
+		if row.Delay > crit.Delay {
+			crit = row
+		}
+	}
+	// Recompute fields against the row's own max frequency for clarity.
+	crit.SlackSeconds = 0
+	crit.Meets = true
+	return &crit
+}
+
+// MaxFrequency returns the fastest clock the whole design supports:
+// the reciprocal of the slowest row's delay (infinite when the design
+// has no timing models).
+func MaxFrequency(r *Result) units.Hertz {
+	crit := CriticalRow(r)
+	if crit == nil {
+		return units.Hertz(math.Inf(1))
+	}
+	return crit.MaxFreq
+}

@@ -1,0 +1,122 @@
+package sheet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"powerplay/internal/units"
+)
+
+// Compare puts two evaluated designs side by side — "this estimation
+// strategy enables a quick comparison of alternative design choices",
+// which is the entire point of the Figure 1 vs Figure 3 exercise.
+// Rows are matched by path; rows present in only one design are shown
+// against a blank.
+
+// CompareRow is one matched line of a comparison.
+type CompareRow struct {
+	// Path is the row location (matched by name).
+	Path string
+	// A and B are the row powers in each design; NaN-free: a missing
+	// row reports 0 with Only set.
+	A, B units.Watts
+	// Only is "" when both designs have the row, "A" or "B" otherwise.
+	Only string
+}
+
+// Delta returns B − A.
+func (r CompareRow) Delta() units.Watts { return r.B - r.A }
+
+// Comparison is the result of Compare.
+type Comparison struct {
+	// NameA and NameB title the columns.
+	NameA, NameB string
+	// Rows are the matched model rows, sorted by |delta| descending.
+	Rows []CompareRow
+	// TotalA and TotalB are the design totals.
+	TotalA, TotalB units.Watts
+}
+
+// Ratio returns TotalA / TotalB (the "1/5 of the original" number).
+func (c *Comparison) Ratio() float64 {
+	if c.TotalB == 0 {
+		return 0
+	}
+	return float64(c.TotalA) / float64(c.TotalB)
+}
+
+// Compare evaluates nothing itself: it digests two Results.
+func Compare(nameA string, a *Result, nameB string, b *Result) *Comparison {
+	collect := func(r *Result) map[string]units.Watts {
+		out := map[string]units.Watts{}
+		var walk func(*Result)
+		walk = func(rr *Result) {
+			if rr.Estimate != nil {
+				out[rr.Node.Path()] = rr.Estimate.Power()
+			}
+			for _, c := range rr.Children {
+				walk(c)
+			}
+		}
+		walk(r)
+		return out
+	}
+	pa, pb := collect(a), collect(b)
+	seen := map[string]bool{}
+	var rows []CompareRow
+	for path, p := range pa {
+		row := CompareRow{Path: path, A: p}
+		if q, ok := pb[path]; ok {
+			row.B = q
+		} else {
+			row.Only = "A"
+		}
+		rows = append(rows, row)
+		seen[path] = true
+	}
+	for path, q := range pb {
+		if seen[path] {
+			continue
+		}
+		rows = append(rows, CompareRow{Path: path, B: q, Only: "B"})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		di := float64(rows[i].Delta())
+		dj := float64(rows[j].Delta())
+		if abs(di) != abs(dj) {
+			return abs(di) > abs(dj)
+		}
+		return rows[i].Path < rows[j].Path
+	})
+	return &Comparison{
+		NameA: nameA, NameB: nameB,
+		Rows:   rows,
+		TotalA: a.Power, TotalB: b.Power,
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Write renders the comparison as a table.
+func (c *Comparison) Write(w io.Writer) {
+	fmt.Fprintf(w, "%-24s %14s %14s %14s\n", "row", c.NameA, c.NameB, "delta")
+	for _, r := range c.Rows {
+		aCol, bCol := r.A.String(), r.B.String()
+		switch r.Only {
+		case "A":
+			bCol = "—"
+		case "B":
+			aCol = "—"
+		}
+		fmt.Fprintf(w, "%-24s %14s %14s %14s\n", clip(r.Path, 24), aCol, bCol, r.Delta().String())
+	}
+	fmt.Fprintf(w, "%-24s %14s %14s %14s   (%s/%s = %.2fx)\n", "TOTAL",
+		c.TotalA.String(), c.TotalB.String(), (c.TotalB - c.TotalA).String(),
+		c.NameA, c.NameB, c.Ratio())
+}

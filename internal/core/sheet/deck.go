@@ -1,0 +1,283 @@
+package sheet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"powerplay/internal/core/model"
+	"powerplay/internal/expr"
+)
+
+// The deck format: a line-oriented, hand-writable description of a
+// design sheet, the shell-side counterpart of the web forms.  The JSON
+// format is what the server persists; decks are what a user edits in
+// $EDITOR and feeds to ppcli.
+//
+//	# Figure 1 architecture
+//	design Luminance_1
+//	doc VQ luminance decompression
+//	var vdd = 1.5
+//	var f = 2MHz
+//	row read_bank ucb.sram words=2048 bits=8 f=f/16
+//	row look_up_table ucb.sram words=4096 bits=6 f=f
+//	group datapath chain
+//	row datapath/mult ucb.mult.array bwA=16 bwB=16
+//	var datapath:gain = 2
+//	row conv power.dcdc pload="power(\"datapath\")" eta=0.8
+//
+// Grammar, one directive per line ("#" and ";" start comments):
+//
+//	design NAME              sheet name (first directive)
+//	doc TEXT                 sheet documentation (may repeat)
+//	var [PATH:]NAME = EXPR   variable at the root or at PATH
+//	group PATH [chain]       hierarchy row, optional serial delay
+//	row PATH MODEL [K=V ...] model row; missing parent groups error
+//	rowdoc PATH TEXT         row documentation
+//
+// Values containing spaces are double-quoted with backslash escapes.
+
+// ParseDeck reads a deck into a design bound to a registry.
+func ParseDeck(src string, reg *model.Registry) (*Design, error) {
+	var d *Design
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, "#;"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields, err := tokenizeDeckLine(line)
+		if err != nil {
+			return nil, deckErr(lineNo, "%v", err)
+		}
+		directive := fields[0]
+		args := fields[1:]
+		if d == nil && directive != "design" {
+			return nil, deckErr(lineNo, "the first directive must be \"design NAME\", got %q", directive)
+		}
+		switch directive {
+		case "design":
+			if d != nil {
+				return nil, deckErr(lineNo, "duplicate design directive")
+			}
+			if len(args) != 1 || !validName(args[0]) {
+				return nil, deckErr(lineNo, "design wants one valid name")
+			}
+			d = NewDesign(args[0], reg)
+		case "doc":
+			d.Doc = strings.TrimSpace(d.Doc + " " + strings.Join(args, " "))
+		case "var":
+			if err := deckVar(d, args); err != nil {
+				return nil, deckErr(lineNo, "%v", err)
+			}
+		case "group":
+			if err := deckGroup(d, args); err != nil {
+				return nil, deckErr(lineNo, "%v", err)
+			}
+		case "row":
+			if err := deckRow(d, args); err != nil {
+				return nil, deckErr(lineNo, "%v", err)
+			}
+		case "rowdoc":
+			if len(args) < 2 {
+				return nil, deckErr(lineNo, "rowdoc wants PATH TEXT")
+			}
+			n := d.Root.Find(args[0])
+			if n == nil {
+				return nil, deckErr(lineNo, "rowdoc: no row %q", args[0])
+			}
+			n.Doc = strings.Join(args[1:], " ")
+		default:
+			return nil, deckErr(lineNo, "unknown directive %q", directive)
+		}
+	}
+	if d == nil {
+		return nil, fmt.Errorf("sheet: empty deck")
+	}
+	return d, nil
+}
+
+func deckErr(lineNo int, format string, args ...any) error {
+	return fmt.Errorf("sheet: deck line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+}
+
+// deckVar handles "var [PATH:]NAME = EXPR".
+func deckVar(d *Design, args []string) error {
+	// Re-join and split on "=" so "var x=1" and "var x = 1" both work.
+	joined := strings.Join(args, " ")
+	name, src, ok := strings.Cut(joined, "=")
+	if !ok {
+		return fmt.Errorf("var wants NAME = EXPR")
+	}
+	name = strings.TrimSpace(name)
+	src = strings.TrimSpace(src)
+	target := d.Root
+	if path, varName, scoped := strings.Cut(name, ":"); scoped {
+		target = d.Root.Find(strings.TrimSpace(path))
+		if target == nil {
+			return fmt.Errorf("var: no row %q", path)
+		}
+		name = strings.TrimSpace(varName)
+	}
+	if src == "" {
+		return fmt.Errorf("var %s: empty expression", name)
+	}
+	return target.SetGlobal(name, src)
+}
+
+// deckGroup handles "group PATH [chain]".
+func deckGroup(d *Design, args []string) error {
+	if len(args) < 1 || len(args) > 2 {
+		return fmt.Errorf("group wants PATH [chain]")
+	}
+	n, err := addAtPath(d, args[0], "")
+	if err != nil {
+		return err
+	}
+	if len(args) == 2 {
+		if args[1] != "chain" {
+			return fmt.Errorf("group: unknown mode %q", args[1])
+		}
+		n.Delay = ComposeChain
+	}
+	return nil
+}
+
+// deckRow handles "row PATH MODEL [K=V ...]".
+func deckRow(d *Design, args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("row wants PATH MODEL [param=expr ...]")
+	}
+	n, err := addAtPath(d, args[0], args[1])
+	if err != nil {
+		return err
+	}
+	for _, kv := range args[2:] {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || k == "" || v == "" {
+			return fmt.Errorf("row %s: bad parameter %q (want key=expr)", args[0], kv)
+		}
+		if err := n.SetParam(k, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addAtPath creates a node at a slash path whose parents already exist.
+func addAtPath(d *Design, path, modelName string) (*Node, error) {
+	parts := splitPath(path)
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("empty row path")
+	}
+	parent := d.Root
+	for _, part := range parts[:len(parts)-1] {
+		next := parent.Child(part)
+		if next == nil {
+			return nil, fmt.Errorf("row %q: missing parent group %q (declare it first)", path, part)
+		}
+		parent = next
+	}
+	return parent.AddChild(parts[len(parts)-1], modelName)
+}
+
+// tokenizeDeckLine splits on whitespace, honouring double quotes with
+// backslash escapes; quotes may appear inside key=value tokens.
+func tokenizeDeckLine(line string) ([]string, error) {
+	var fields []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			fields = append(fields, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == '\\' && inQuote:
+			if i+1 >= len(line) {
+				return nil, fmt.Errorf("dangling escape")
+			}
+			i++
+			cur.WriteByte(line[i])
+		case c == '"':
+			inQuote = !inQuote
+		case (c == ' ' || c == '\t') && !inQuote:
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("unterminated quote")
+	}
+	flush()
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("empty line")
+	}
+	return fields, nil
+}
+
+// FormatDeck serializes a design in deck form; ParseDeck(FormatDeck(d))
+// evaluates identically to d.
+func FormatDeck(d *Design) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "design %s\n", d.Name)
+	if d.Doc != "" {
+		fmt.Fprintf(&b, "doc %s\n", d.Doc)
+	}
+	for _, g := range d.Root.Globals {
+		fmt.Fprintf(&b, "var %s = %s\n", g.Name, g.Expr.Source())
+	}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		for _, c := range n.Children {
+			path := c.Path()
+			if c.Model == "" {
+				if c.Delay == ComposeChain {
+					fmt.Fprintf(&b, "group %s chain\n", path)
+				} else {
+					fmt.Fprintf(&b, "group %s\n", path)
+				}
+			} else {
+				fmt.Fprintf(&b, "row %s %s", path, c.Model)
+				for _, p := range c.Params {
+					fmt.Fprintf(&b, " %s=%s", p.Name, quoteDeck(p.Expr.Source()))
+				}
+				fmt.Fprintln(&b)
+			}
+			if c.Doc != "" {
+				fmt.Fprintf(&b, "rowdoc %s %s\n", path, c.Doc)
+			}
+			// Scoped variables, in stable order.
+			names := make([]string, 0, len(c.Globals))
+			byName := map[string]*expr.Expr{}
+			for _, g := range c.Globals {
+				names = append(names, g.Name)
+				byName[g.Name] = g.Expr
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				fmt.Fprintf(&b, "var %s:%s = %s\n", path, name, byName[name].Source())
+			}
+			walk(c)
+		}
+	}
+	walk(d.Root)
+	return b.String()
+}
+
+// quoteDeck wraps values containing spaces or quotes.
+func quoteDeck(s string) string {
+	if !strings.ContainsAny(s, " \t\"") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return `"` + s + `"`
+}

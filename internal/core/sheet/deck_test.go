@@ -1,0 +1,142 @@
+package sheet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDeckBasic(t *testing.T) {
+	deck := `
+# Figure-1-style deck
+design demo
+doc a small test design
+var vdd = 1.5
+var f = 2MHz
+var fread = f/16
+row mem cell bits=16 f=fread
+group datapath chain
+row datapath/a cell bits=8
+row datapath/b cell bits=4
+var datapath:gain = 3
+rowdoc mem the ping-pong buffer
+`
+	d, err := ParseDeck(deck, testRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "demo" || d.Doc != "a small test design" {
+		t.Errorf("metadata: %q %q", d.Name, d.Doc)
+	}
+	r, err := d.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mem: 16 bits at f/16.
+	wantMem := 16 * 100e-15 * 2.25 * 125e3
+	if got := float64(r.Find("mem").Power); !almost(got, wantMem) {
+		t.Errorf("mem = %v, want %v", got, wantMem)
+	}
+	// chain group delays add: 8ns + 4ns.
+	if got := float64(r.Find("datapath").Delay); !almost(got, 12e-9) {
+		t.Errorf("chain delay = %v", got)
+	}
+	if d.Root.Find("mem").Doc != "the ping-pong buffer" {
+		t.Error("rowdoc lost")
+	}
+	if d.Root.Find("datapath").Global("gain") == nil {
+		t.Error("scoped var lost")
+	}
+}
+
+func TestParseDeckQuotedExpressions(t *testing.T) {
+	deck := `
+design demo
+var vdd = 5
+var f = 1e6
+row radio cell bits=100
+row conv loss pload="power(\"radio\")" eta=0.8
+`
+	d, err := ParseDeck(deck, testRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pRadio := float64(r.Find("radio").Power)
+	if got := float64(r.Find("conv").Power); !almost(got, 0.25*pRadio) {
+		t.Errorf("conv = %v, want %v", got, 0.25*pRadio)
+	}
+}
+
+func TestParseDeckErrors(t *testing.T) {
+	reg := testRegistry()
+	cases := []struct{ deck, want string }{
+		{"", "empty deck"},
+		{"var x = 1", "first directive"},
+		{"design a\ndesign b", "duplicate design"},
+		{"design bad name", "one valid name"},
+		{"design d\nfrob x", "unknown directive"},
+		{"design d\nvar x 1", "NAME = EXPR"},
+		{"design d\nvar x = ", "empty expression"},
+		{"design d\nvar ghost:y = 1", `no row "ghost"`},
+		{"design d\nrow a", "row wants PATH MODEL"},
+		{"design d\nrow g/leaf cell", "missing parent group"},
+		{"design d\nrow a cell bits", "bad parameter"},
+		{"design d\nrow a cell bits=1+", "param"},
+		{"design d\ngroup g bogus", "unknown mode"},
+		{"design d\nrowdoc ghost text", `no row "ghost"`},
+		{"design d\nrow a cell bits=\"3", "unterminated quote"},
+		{"design d\nrow a cell\nrow a cell", "duplicate row"},
+	}
+	for _, c := range cases {
+		_, err := ParseDeck(c.deck, reg)
+		if err == nil {
+			t.Errorf("ParseDeck(%q) should fail", c.deck)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseDeck(%q) error %q, want substring %q", c.deck, err, c.want)
+		}
+	}
+}
+
+func TestDeckRoundTrip(t *testing.T) {
+	d := NewDesign("round", testRegistry())
+	d.Doc = "round trip test"
+	d.Root.SetGlobalValue("vdd", 5, "5")
+	d.Root.SetGlobalValue("f", 1e6, "1e6")
+	grp := d.Root.MustAddChild("stage", "")
+	grp.Delay = ComposeChain
+	grp.SetGlobalValue("inner", 7, "7")
+	a := grp.MustAddChild("a", "cell")
+	a.SetParam("bits", "inner*2")
+	a.Doc = "first stage"
+	conv := d.Root.MustAddChild("conv", "loss")
+	conv.SetParam("pload", `power("stage") + 0.001`)
+
+	text := FormatDeck(d)
+	d2, err := ParseDeck(text, d.Registry)
+	if err != nil {
+		t.Fatalf("%v\ndeck:\n%s", err, text)
+	}
+	r1, err := d.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := d2.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Power != r2.Power || r1.Delay != r2.Delay || r1.Area != r2.Area {
+		t.Errorf("round trip drifted: %v/%v vs %v/%v", r1.Power, r1.Delay, r2.Power, r2.Delay)
+	}
+	if d2.Root.Find("stage/a").Doc != "first stage" {
+		t.Error("rowdoc lost in round trip")
+	}
+	// Idempotent formatting.
+	if FormatDeck(d2) != text {
+		t.Errorf("format not a fixpoint:\n%s\nvs\n%s", FormatDeck(d2), text)
+	}
+}

@@ -1,0 +1,115 @@
+package sheet
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"powerplay/internal/core/model"
+	"powerplay/internal/expr"
+)
+
+// The JSON design format: what the server persists per user ("any
+// previously generated designs" in the paper's implementation section)
+// and what ppcli evaluates from the shell.  Expressions are stored as
+// source text.
+
+// designJSON mirrors Design.
+type designJSON struct {
+	Name string   `json:"name"`
+	Doc  string   `json:"doc,omitempty"`
+	Root nodeJSON `json:"root"`
+}
+
+// nodeJSON mirrors Node.
+type nodeJSON struct {
+	Name     string        `json:"name"`
+	Doc      string        `json:"doc,omitempty"`
+	Model    string        `json:"model,omitempty"`
+	Compose  string        `json:"compose,omitempty"`
+	Params   []bindingJSON `json:"params,omitempty"`
+	Globals  []bindingJSON `json:"globals,omitempty"`
+	Children []nodeJSON    `json:"children,omitempty"`
+}
+
+type bindingJSON struct {
+	Name string `json:"name"`
+	Expr string `json:"expr"`
+}
+
+// MarshalJSON serializes the design with expression sources preserved.
+func (d *Design) MarshalJSON() ([]byte, error) {
+	return json.Marshal(designJSON{Name: d.Name, Doc: d.Doc, Root: nodeToJSON(d.Root)})
+}
+
+func nodeToJSON(n *Node) nodeJSON {
+	out := nodeJSON{Name: n.Name, Doc: n.Doc, Model: n.Model, Compose: string(n.Delay)}
+	for _, b := range n.Params {
+		out.Params = append(out.Params, bindingJSON{b.Name, b.Expr.Source()})
+	}
+	for _, b := range n.Globals {
+		out.Globals = append(out.Globals, bindingJSON{b.Name, b.Expr.Source()})
+	}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, nodeToJSON(c))
+	}
+	return out
+}
+
+// ParseDesign decodes a JSON design and binds it to a registry.  All
+// expressions are compiled; the first syntax error aborts.
+func ParseDesign(data []byte, reg *model.Registry) (*Design, error) {
+	var dj designJSON
+	if err := json.Unmarshal(data, &dj); err != nil {
+		return nil, fmt.Errorf("sheet: bad design JSON: %w", err)
+	}
+	if dj.Name == "" {
+		return nil, fmt.Errorf("sheet: design JSON missing name")
+	}
+	root, err := nodeFromJSON(dj.Root, nil)
+	if err != nil {
+		return nil, err
+	}
+	if root.Name == "" {
+		root.Name = dj.Name
+	}
+	return &Design{Name: dj.Name, Doc: dj.Doc, Root: root, Registry: reg}, nil
+}
+
+func nodeFromJSON(nj nodeJSON, parent *Node) (*Node, error) {
+	n := &Node{Name: nj.Name, Doc: nj.Doc, Model: nj.Model, Delay: Compose(nj.Compose), parent: parent}
+	if parent != nil && !validName(nj.Name) {
+		return nil, fmt.Errorf("sheet: invalid row name %q", nj.Name)
+	}
+	switch n.Delay {
+	case ComposeMax, ComposeChain:
+	default:
+		return nil, fmt.Errorf("sheet: row %q has unknown compose mode %q", nj.Name, nj.Compose)
+	}
+	for _, b := range nj.Params {
+		e, err := expr.Compile(b.Expr)
+		if err != nil {
+			return nil, fmt.Errorf("sheet: row %q param %q: %w", nj.Name, b.Name, err)
+		}
+		n.Params = append(n.Params, Binding{b.Name, e})
+	}
+	for _, b := range nj.Globals {
+		e, err := expr.Compile(b.Expr)
+		if err != nil {
+			return nil, fmt.Errorf("sheet: row %q variable %q: %w", nj.Name, b.Name, err)
+		}
+		n.Globals = append(n.Globals, Binding{b.Name, e})
+	}
+	seen := make(map[string]bool)
+	for _, cj := range nj.Children {
+		if seen[cj.Name] {
+			return nil, fmt.Errorf("sheet: duplicate row %q under %q", cj.Name, nj.Name)
+		}
+		seen[cj.Name] = true
+		c, err := nodeFromJSON(cj, n)
+		if err != nil {
+			return nil, err
+		}
+		n.Children = append(n.Children, c)
+	}
+	return n, nil
+}

@@ -1,0 +1,101 @@
+package sheet
+
+import (
+	"fmt"
+
+	"powerplay/internal/core/model"
+	"powerplay/internal/units"
+)
+
+// Macro lumps a whole design into a single reusable library model — the
+// hierarchical macro-modeling the paper calls crucial for system-level
+// work: the video-decompression sheet becomes one row of the portable
+// terminal's sheet.
+//
+// The macro's parameters are the design's root globals; its defaults
+// are their current values.  Evaluation re-plays the inner sheet at the
+// caller's parameter point, so supply-voltage and frequency scaling
+// flow through the hierarchy exactly as if the sub-design were inlined.
+type Macro struct {
+	name, title, doc string
+	design           *Design
+}
+
+// NewMacro wraps a design as a model.  Every root global whose current
+// binding is a constant becomes a macro parameter with that default;
+// expression-valued globals stay internal.
+func NewMacro(name, title, doc string, d *Design) (*Macro, error) {
+	if name == "" {
+		return nil, fmt.Errorf("sheet: macro needs a name")
+	}
+	if d == nil || d.Root == nil {
+		return nil, fmt.Errorf("sheet: macro %q needs a design", name)
+	}
+	// A macro must evaluate on its own before being published.
+	if _, err := d.Evaluate(); err != nil {
+		return nil, fmt.Errorf("sheet: macro %q: design does not evaluate: %w", name, err)
+	}
+	return &Macro{name: name, title: title, doc: doc, design: d}, nil
+}
+
+// Design exposes the wrapped design (for hyperlinking from the macro's
+// documentation page to the underlying sheet).
+func (m *Macro) Design() *Design { return m.design }
+
+// Info implements model.Model.
+func (m *Macro) Info() model.Info {
+	info := model.Info{
+		Name:  m.name,
+		Title: m.title,
+		Class: model.Macro,
+		Doc:   m.doc,
+	}
+	for _, g := range m.design.Root.Globals {
+		if v, ok := g.Expr.Const(); ok {
+			p := model.Param{Name: g.Name, Doc: "macro parameter (root variable)", Default: v}
+			info.Params = append(info.Params, p)
+		}
+	}
+	return info
+}
+
+// Evaluate implements model.Model: re-play the inner design with the
+// caller's bindings overriding the root globals.
+func (m *Macro) Evaluate(p model.Params) (*model.Estimate, error) {
+	overrides := make(map[string]float64, len(p))
+	for k, v := range p {
+		overrides[k] = v
+	}
+	r, err := m.design.EvaluateAt(overrides)
+	if err != nil {
+		return nil, fmt.Errorf("macro %q: %w", m.name, err)
+	}
+	vdd := units.Volts(p.Get(model.ParamVDD, 0))
+	if vdd == 0 {
+		// Fall back to the design's own supply variable, if any.
+		if e := m.design.Root.Global(model.ParamVDD); e != nil {
+			if v, ok := e.Const(); ok {
+				vdd = units.Volts(v)
+			}
+		}
+	}
+	if vdd == 0 {
+		vdd = model.RefVDD
+	}
+	est := &model.Estimate{VDD: vdd}
+	// The inner evaluation already priced everything at the overridden
+	// operating point, so the lump is an equivalent static draw.
+	est.AddStatic("macro total", units.Amps(float64(r.Power)/float64(vdd)))
+	est.Area = r.Area
+	est.Delay = r.Delay
+	est.Note("macro of design %q: %d rows lumped", m.design.Name, countRows(m.design.Root))
+	return est, nil
+}
+
+func countRows(n *Node) int {
+	count := 0
+	n.Walk(func(*Node) { count++ })
+	return count
+}
+
+var _ model.Model = (*Macro)(nil)

@@ -1,0 +1,100 @@
+package sheet
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"powerplay/internal/units"
+)
+
+// Report renders an evaluated design as the text analogue of the
+// paper's Figure 2 / Figure 5 spreadsheets: one row per node with
+// parameters, energy per access, power, area and delay, the variable
+// rows, and the total.
+func Report(w io.Writer, d *Design, r *Result) {
+	fmt.Fprintf(w, "%s summary\n", d.Name)
+	if d.Doc != "" {
+		fmt.Fprintf(w, "%s\n", d.Doc)
+	}
+	fmt.Fprintf(w, "%-28s %-24s %14s %14s %12s %12s\n",
+		"Name", "Parameters", "Energy/op", "Power", "Area", "Delay")
+	writeRows(w, r, 0)
+	for _, g := range d.Root.Globals {
+		val := ""
+		if v, ok := g.Expr.Const(); ok {
+			val = fmt.Sprintf("%g", v)
+		} else {
+			val = g.Expr.Source()
+		}
+		fmt.Fprintf(w, "%-28s %-24s\n", g.Name, val)
+	}
+	fmt.Fprintf(w, "%-28s %-24s %14s %14s %12s %12s\n", "TOTAL", "",
+		"", units.Sci(float64(r.Power), "W"), r.Area.String(), r.Delay.String())
+}
+
+func writeRows(w io.Writer, r *Result, depth int) {
+	if depth > 0 || r.Node.Model != "" {
+		indent := strings.Repeat("  ", depth-1)
+		name := indent + r.Node.Name
+		fmt.Fprintf(w, "%-28s %-24s %14s %14s %12s %12s\n",
+			clip(name, 28), clip(paramSummary(r), 24),
+			energyCol(r), units.Sci(float64(r.Power), "W"),
+			r.Area.String(), r.Delay.String())
+	}
+	for _, c := range r.Children {
+		writeRows(w, c, depth+1)
+	}
+}
+
+func energyCol(r *Result) string {
+	if r.Estimate == nil {
+		return ""
+	}
+	return units.Sci(float64(r.EnergyPerOp), "J")
+}
+
+// paramSummary renders the row's interesting parameters compactly,
+// in binding order, skipping the inherited scope values.
+func paramSummary(r *Result) string {
+	if r.Node.Model == "" {
+		return ""
+	}
+	var parts []string
+	for _, b := range r.Node.Params {
+		v := r.Params[b.Name]
+		parts = append(parts, fmt.Sprintf("%s=%g", b.Name, v))
+	}
+	return strings.Join(parts, " ")
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// Breakdown returns "name: power" lines for a result's direct children,
+// largest first — the Figure 5 reading of a system sheet.
+func Breakdown(r *Result) []string {
+	rows := append([]*Result(nil), r.Children...)
+	for i := 0; i < len(rows); i++ {
+		for j := i + 1; j < len(rows); j++ {
+			if rows[j].Power > rows[i].Power {
+				rows[i], rows[j] = rows[j], rows[i]
+			}
+		}
+	}
+	var out []string
+	total := float64(r.Power)
+	for _, c := range rows {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(c.Power) / total
+		}
+		out = append(out, fmt.Sprintf("%-24s %12s  %5.1f%%",
+			c.Node.Name, units.Watts(c.Power).String(), pct))
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+// Package ctrl implements the paper's controller power models.
+//
+// Controller power is particularly hard to estimate early: the
+// combinational implementation platform (random logic, ROM, PLA) may be
+// undecided and the controller's complexity is only roughly known.  Two
+// parameters are usually available early and drive all three models
+// here: N_I, the number of inputs (state + status bits), and N_O, the
+// number of outputs (state bits + control signals).
+//
+// Random logic (EQ 9):
+//
+//	C_T = C0·α0·N_I·N_O + C1·α1·N_M·N_O
+//
+// with N_M the number of minterms and α0 = α1 = 0.25 for randomly
+// distributed input vectors.
+//
+// ROM (EQ 10), with precharged word/bit lines and P_O the average
+// fraction of low output bits:
+//
+//	C_T = C0 + C1·N_I·2^N_I + C2·P_O·N_O·2^N_I + C3·P_O·N_O + C4·N_O
+//
+// The PLA model follows the ROM structure with the word-line count
+// replaced by the product-term count.  All results should be read with
+// caution at this abstraction level; the models exist so an estimate is
+// made at all, and are refined later through the tool paths.
+package ctrl
+
+import (
+	"math"
+
+	"powerplay/internal/core/model"
+	"powerplay/internal/units"
+)
+
+// RandomLogic is the EQ 9 two-level random-logic controller model.
+type RandomLogic struct {
+	// Name, Title, Doc identify the cell.
+	Name, Title, Doc string
+	// C0 is the input-plane coefficient of EQ 9.
+	C0 units.Farads
+	// C1 is the output-plane coefficient of EQ 9.
+	C1 units.Farads
+	// AreaPerGate converts the N_I·N_O + N_M·N_O gate-count proxy into
+	// layout area.
+	AreaPerGate units.SquareMeters
+	// DelayPerLevel is the per-logic-level delay; depth is estimated as
+	// 2 + log2(N_I).
+	DelayPerLevel units.Seconds
+}
+
+// Info implements model.Model.
+func (r *RandomLogic) Info() model.Info {
+	return model.Info{
+		Name:  r.Name,
+		Title: r.Title,
+		Class: model.Controller,
+		Doc:   r.Doc,
+		Params: model.WithStd(
+			model.Param{Name: "ni", Doc: "inputs incl. state and status bits (N_I)", Default: 8, Min: 1, Max: 64, Integer: true},
+			model.Param{Name: "no", Doc: "outputs incl. state bits and controls (N_O)", Default: 16, Min: 1, Max: 1024, Integer: true},
+			model.Param{Name: "nm", Doc: "minterm count (N_M); 0 estimates 2^(N_I-1)", Default: 0, Min: 0, Max: 1 << 24, Integer: true},
+			model.Param{Name: "a0", Doc: "input-plane switching probability α0", Default: 0.25, Min: 0, Max: 1},
+			model.Param{Name: "a1", Doc: "output-plane switching probability α1", Default: 0.25, Min: 0, Max: 1},
+		),
+	}
+}
+
+// Minterms resolves the nm parameter: an explicit count, or the
+// random-control default of half the input space.
+func Minterms(ni, nm float64) float64 {
+	if nm > 0 {
+		return nm
+	}
+	return math.Exp2(ni - 1)
+}
+
+// Evaluate implements model.Model.
+func (r *RandomLogic) Evaluate(p model.Params) (*model.Estimate, error) {
+	ni, no := p["ni"], p["no"]
+	nm := Minterms(ni, p["nm"])
+	scale := model.CapScale(p[model.ParamTech])
+	e := &model.Estimate{VDD: p.VDD()}
+	e.AddCap("input plane", units.Farads(float64(r.C0)*p["a0"]*ni*no*scale), p.Freq())
+	e.AddCap("output plane", units.Farads(float64(r.C1)*p["a1"]*nm*no*scale), p.Freq())
+	e.Area = units.SquareMeters((ni*no + nm*no) * float64(r.AreaPerGate) * scale * scale)
+	depth := 2 + math.Log2(math.Max(ni, 2))
+	e.Delay = units.Seconds(depth * float64(r.DelayPerLevel) * model.DelayScale(float64(p.VDD())))
+	e.Note("EQ 9 estimate; interpret with caution until the control path is characterized")
+	return e, nil
+}
+
+// ROM is the EQ 10 ROM-based controller model.
+type ROM struct {
+	// Name, Title, Doc identify the cell.
+	Name, Title, Doc string
+	// C0..C4 are the EQ 10 library coefficients.
+	C0, C1, C2, C3, C4 units.Farads
+	// AreaPerCell is area per ROM bit cell (2^N_I × N_O array).
+	AreaPerCell units.SquareMeters
+	// Delay0 is the access delay for a minimal array.
+	Delay0 units.Seconds
+}
+
+// Info implements model.Model.
+func (r *ROM) Info() model.Info {
+	return model.Info{
+		Name:  r.Name,
+		Title: r.Title,
+		Class: model.Controller,
+		Doc:   r.Doc,
+		Params: model.WithStd(
+			model.Param{Name: "ni", Doc: "address bits (N_I)", Default: 8, Min: 1, Max: 24, Integer: true},
+			model.Param{Name: "no", Doc: "output bits (N_O)", Default: 16, Min: 1, Max: 1024, Integer: true},
+			model.Param{Name: "po", Doc: "average fraction of low output bits (P_O)", Default: 0.5, Min: 0, Max: 1},
+		),
+	}
+}
+
+// Evaluate implements model.Model.
+func (r *ROM) Evaluate(p model.Params) (*model.Estimate, error) {
+	ni, no, po := p["ni"], p["no"], p["po"]
+	scale := model.CapScale(p[model.ParamTech])
+	rows := math.Exp2(ni)
+	ct := float64(r.C0) +
+		float64(r.C1)*ni*rows +
+		float64(r.C2)*po*no*rows +
+		float64(r.C3)*po*no +
+		float64(r.C4)*no
+	e := &model.Estimate{VDD: p.VDD()}
+	e.AddCap("decode+array+senseamps", units.Farads(ct*scale), p.Freq())
+	e.Area = units.SquareMeters((rows*no*float64(r.AreaPerCell) + 64*float64(r.AreaPerCell)*ni) * scale * scale)
+	e.Delay = units.Seconds(float64(r.Delay0) * (1 + 0.15*ni) * model.DelayScale(float64(p.VDD())))
+	e.Note("EQ 10 estimate with precharged word/bit lines; P_O = %.2f", po)
+	return e, nil
+}
+
+// PLA models a programmable logic array controller: an AND plane of
+// product terms and an OR plane driving the outputs, both precharged.
+// Structurally it is the ROM model with 2^N_I replaced by the product
+// term count N_P, as the paper suggests ("other implementation
+// platforms may be modeled in a similar way").
+type PLA struct {
+	// Name, Title, Doc identify the cell.
+	Name, Title, Doc string
+	// C0 is the constant overhead; CAnd and COr the per-crosspoint
+	// coefficients of the two planes.
+	C0, CAnd, COr units.Farads
+	// AreaPerCrosspoint converts crosspoint count into area.
+	AreaPerCrosspoint units.SquareMeters
+	// Delay0 is the evaluate delay of a minimal array.
+	Delay0 units.Seconds
+}
+
+// Info implements model.Model.
+func (r *PLA) Info() model.Info {
+	return model.Info{
+		Name:  r.Name,
+		Title: r.Title,
+		Class: model.Controller,
+		Doc:   r.Doc,
+		Params: model.WithStd(
+			model.Param{Name: "ni", Doc: "inputs (N_I)", Default: 8, Min: 1, Max: 64, Integer: true},
+			model.Param{Name: "no", Doc: "outputs (N_O)", Default: 16, Min: 1, Max: 1024, Integer: true},
+			model.Param{Name: "np", Doc: "product terms (N_P); 0 estimates N_I·4", Default: 0, Min: 0, Max: 1 << 20, Integer: true},
+			model.Param{Name: "act", Doc: "plane switching activity", Default: 0.25, Min: 0, Max: 1},
+		),
+	}
+}
+
+// Evaluate implements model.Model.
+func (r *PLA) Evaluate(p model.Params) (*model.Estimate, error) {
+	ni, no := p["ni"], p["no"]
+	np := p["np"]
+	if np == 0 {
+		np = 4 * ni
+	}
+	scale := model.CapScale(p[model.ParamTech])
+	e := &model.Estimate{VDD: p.VDD()}
+	e.AddCap("overhead", units.Farads(float64(r.C0)*scale), p.Freq())
+	e.AddCap("AND plane", units.Farads(float64(r.CAnd)*p["act"]*2*ni*np*scale), p.Freq())
+	e.AddCap("OR plane", units.Farads(float64(r.COr)*p["act"]*np*no*scale), p.Freq())
+	e.Area = units.SquareMeters((2*ni*np + np*no) * float64(r.AreaPerCrosspoint) * scale * scale)
+	e.Delay = units.Seconds(float64(r.Delay0) * model.DelayScale(float64(p.VDD())))
+	return e, nil
+}
+
+var (
+	_ model.Model = (*RandomLogic)(nil)
+	_ model.Model = (*ROM)(nil)
+	_ model.Model = (*PLA)(nil)
+)

@@ -1,0 +1,174 @@
+package ctrl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"powerplay/internal/core/model"
+	"powerplay/internal/units"
+)
+
+func almost(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func randomLogic() *RandomLogic {
+	return &RandomLogic{
+		Name: "ucb.ctrl.random", C0: 40 * units.FemtoFarad, C1: 40 * units.FemtoFarad,
+		AreaPerGate: 200 * units.SquareMicron, DelayPerLevel: 2e-9,
+	}
+}
+
+func rom() *ROM {
+	return &ROM{
+		Name: "ucb.ctrl.rom",
+		C0:   2 * units.PicoFarad, C1: 1 * units.FemtoFarad, C2: 0.05 * units.FemtoFarad,
+		C3: 5 * units.FemtoFarad, C4: 20 * units.FemtoFarad,
+		AreaPerCell: 15 * units.SquareMicron, Delay0: 8e-9,
+	}
+}
+
+func ev(t *testing.T, m model.Model, p model.Params) *model.Estimate {
+	t.Helper()
+	e, err := model.Evaluate(m, p)
+	if err != nil {
+		t.Fatalf("%s: %v", m.Info().Name, err)
+	}
+	return e
+}
+
+func TestRandomLogicEQ9(t *testing.T) {
+	r := randomLogic()
+	// Explicit minterms: C_T = C0·a0·NI·NO + C1·a1·NM·NO.
+	e := ev(t, r, model.Params{"ni": 8, "no": 16, "nm": 40, "vdd": 1.5, "f": 1e6})
+	want := 40e-15*0.25*8*16 + 40e-15*0.25*40*16
+	if got := float64(e.SwitchedCap()); !almost(got, want) {
+		t.Errorf("C_T = %v, want %v", got, want)
+	}
+	// nm = 0 defaults to 2^(NI-1).
+	e0 := ev(t, r, model.Params{"ni": 8, "no": 16})
+	want0 := 40e-15*0.25*8*16 + 40e-15*0.25*128*16
+	if got := float64(e0.SwitchedCap()); !almost(got, want0) {
+		t.Errorf("defaulted minterms C_T = %v, want %v", got, want0)
+	}
+	// Custom switching probabilities.
+	ep := ev(t, r, model.Params{"ni": 8, "no": 16, "nm": 40, "a0": 0.5, "a1": 0.1})
+	wantp := 40e-15*0.5*8*16 + 40e-15*0.1*40*16
+	if got := float64(ep.SwitchedCap()); !almost(got, wantp) {
+		t.Errorf("custom alpha C_T = %v, want %v", got, wantp)
+	}
+}
+
+func TestMinterms(t *testing.T) {
+	if Minterms(8, 40) != 40 {
+		t.Error("explicit minterms should pass through")
+	}
+	if Minterms(8, 0) != 128 {
+		t.Error("default minterms should be 2^(NI-1)")
+	}
+}
+
+func TestROMEQ10(t *testing.T) {
+	r := rom()
+	ni, no, po := 6.0, 24.0, 0.5
+	e := ev(t, r, model.Params{"ni": ni, "no": no, "po": po, "vdd": 1.5, "f": 1e6})
+	rows := math.Exp2(ni)
+	want := 2e-12 + 1e-15*ni*rows + 0.05e-15*po*no*rows + 5e-15*po*no + 20e-15*no
+	if got := float64(e.SwitchedCap()); !almost(got, want) {
+		t.Errorf("C_T = %v, want %v", got, want)
+	}
+	// All-high outputs (po=0) stop bit-line precharge terms.
+	e0 := ev(t, r, model.Params{"ni": ni, "no": no, "po": 0.0})
+	wantNoBL := 2e-12 + 1e-15*ni*rows + 20e-15*no
+	if got := float64(e0.SwitchedCap()); !almost(got, wantNoBL) {
+		t.Errorf("po=0 C_T = %v, want %v", got, wantNoBL)
+	}
+}
+
+func TestROMExponentialInNI(t *testing.T) {
+	// Property: once the 2^NI array terms dominate the fixed overhead,
+	// each extra address bit roughly doubles the switched capacitance.
+	r := rom()
+	f := func(raw uint8) bool {
+		ni := float64(raw%6 + 10) // 10..15: array-dominated regime
+		a := mustEv(r, model.Params{"ni": ni, "no": 16})
+		b := mustEv(r, model.Params{"ni": ni + 1, "no": 16})
+		return float64(b.SwitchedCap()) > 1.8*float64(a.SwitchedCap())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossoverROMvsRandomLogic(t *testing.T) {
+	// The A1 ablation shape: for a sparse controller (few minterms)
+	// random logic wins because the ROM still decodes all 2^NI rows;
+	// for dense control (minterms ~ half the input space) the ROM's
+	// 1 fF/cell array beats the 40 fF random-logic gates.
+	rl, rm := randomLogic(), rom()
+	base := model.Params{"ni": 14, "no": 16, "vdd": 1.5, "f": 1e6}
+
+	sparse := base.Clone()
+	sparse["nm"] = 32
+	rlSparse := mustEv(rl, sparse).Power()
+	romP := mustEv(rm, base.Clone()).Power()
+	if rlSparse >= romP {
+		t.Errorf("sparse random logic (%v) should beat ROM (%v)", rlSparse, romP)
+	}
+
+	dense := base.Clone() // nm defaults to 2^(NI-1)
+	rlDense := mustEv(rl, dense).Power()
+	if romP >= rlDense {
+		t.Errorf("ROM (%v) should beat dense random logic (%v)", romP, rlDense)
+	}
+}
+
+func TestPLA(t *testing.T) {
+	p := &PLA{
+		Name: "ucb.ctrl.pla", C0: 1 * units.PicoFarad,
+		CAnd: 2 * units.FemtoFarad, COr: 2 * units.FemtoFarad,
+		AreaPerCrosspoint: 10 * units.SquareMicron, Delay0: 6e-9,
+	}
+	e := ev(t, p, model.Params{"ni": 8, "no": 16, "np": 20, "vdd": 1.5, "f": 1e6})
+	want := 1e-12 + 2e-15*0.25*2*8*20 + 2e-15*0.25*20*16
+	if got := float64(e.SwitchedCap()); !almost(got, want) {
+		t.Errorf("C_T = %v, want %v", got, want)
+	}
+	// np = 0 defaults to 4·NI.
+	e0 := ev(t, p, model.Params{"ni": 8, "no": 16})
+	want0 := 1e-12 + 2e-15*0.25*2*8*32 + 2e-15*0.25*32*16
+	if got := float64(e0.SwitchedCap()); !almost(got, want0) {
+		t.Errorf("defaulted product terms C_T = %v, want %v", got, want0)
+	}
+	// A PLA with few product terms beats the equivalent full ROM.
+	romPower := mustEv(rom(), model.Params{"ni": 8, "no": 16}).Power()
+	plaPower := e.Power()
+	if plaPower >= romPower {
+		t.Errorf("sparse PLA (%v) should beat full ROM (%v)", plaPower, romPower)
+	}
+}
+
+func TestControllersEvaluateAtDefaults(t *testing.T) {
+	for _, m := range []model.Model{randomLogic(), rom(), &PLA{Name: "p"}} {
+		e, err := model.Evaluate(m, nil)
+		if err != nil {
+			t.Errorf("%s: %v", m.Info().Name, err)
+			continue
+		}
+		if !(e.Power() >= 0) {
+			t.Errorf("%s: negative power %v", m.Info().Name, e.Power())
+		}
+		if e.VDD != 1.5 {
+			t.Errorf("%s: default VDD = %v", m.Info().Name, e.VDD)
+		}
+	}
+}
+
+func mustEv(m model.Model, p model.Params) *model.Estimate {
+	e, err := model.Evaluate(m, p)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}

@@ -1,0 +1,126 @@
+package dcdc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"powerplay/internal/core/model"
+	"powerplay/internal/units"
+)
+
+func TestCurveInterpolation(t *testing.T) {
+	c := &Curve{
+		Name: "buck", Rated: 2,
+		Points: []EffPoint{{1.0, 0.85}, {0.5, 0.82}, {0.1, 0.66}}, // unsorted on purpose
+	}
+	// Exact sample points.
+	for _, tc := range []struct{ load, want float64 }{
+		{2.0, 0.85}, {1.0, 0.82}, {0.2, 0.66},
+	} {
+		got, err := c.Efficiency(units.Watts(tc.load))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("eta(%v) = %v, want %v", tc.load, got, tc.want)
+		}
+	}
+	// Midpoint between 0.5 and 1.0 load fraction.
+	got, _ := c.Efficiency(1.5) // frac 0.75
+	if math.Abs(got-0.835) > 1e-12 {
+		t.Errorf("interpolated eta = %v, want 0.835", got)
+	}
+	// Clamping outside the characterized range.
+	if got, _ := c.Efficiency(0.01); got != 0.66 {
+		t.Errorf("below range: %v", got)
+	}
+	if got, _ := c.Efficiency(10); got != 0.85 {
+		t.Errorf("above range: %v", got)
+	}
+}
+
+func TestCurveValidation(t *testing.T) {
+	if _, err := (&Curve{Name: "x", Rated: 1}).Efficiency(1); err == nil {
+		t.Error("no points should fail")
+	}
+	if _, err := (&Curve{Name: "x", Points: []EffPoint{{1, 0.8}}}).Efficiency(1); err == nil {
+		t.Error("no rated load should fail")
+	}
+	bad := &Curve{Name: "x", Rated: 1, Points: []EffPoint{{1, 1.5}}}
+	if _, err := bad.Efficiency(1); err == nil {
+		t.Error("eta > 1 should fail")
+	}
+}
+
+func TestTypicalBuckModel(t *testing.T) {
+	c := NewTypicalBuck("maxim.buck", "Buck converter", 2)
+	// At rated load: 85% efficient.
+	est, err := model.Evaluate(c, model.Params{"pload": 2, "rated": 2, "vdd": 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLoss := 2 * (1 - 0.85) / 0.85
+	if math.Abs(float64(est.Power())-wantLoss) > 1e-9 {
+		t.Errorf("rated loss = %v, want %v", est.Power(), wantLoss)
+	}
+	// At 5% load the efficiency collapses to 55%: relative loss is much
+	// worse than the constant-η model predicts.
+	light, err := model.Evaluate(c, model.Params{"pload": 0.1, "rated": 2, "vdd": 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	constEta, _ := Dissipation(0.1, 0.85)
+	if float64(light.Power()) <= float64(constEta)*1.5 {
+		t.Errorf("light-load loss %v should far exceed constant-η %v", light.Power(), constEta)
+	}
+	// Defaults evaluate.
+	if _, err := model.Evaluate(c, nil); err != nil {
+		t.Errorf("defaults: %v", err)
+	}
+}
+
+// Property: interpolated efficiency always lies within the range of
+// the characteristic's samples, for any query.
+func TestQuickCurveBounded(t *testing.T) {
+	c := NewTypicalBuck("b", "b", 1)
+	lo, hi := 1.0, 0.0
+	for _, p := range c.Points {
+		lo = math.Min(lo, p.Eta)
+		hi = math.Max(hi, p.Eta)
+	}
+	f := func(raw uint16) bool {
+		load := float64(raw) / 65535 * 3 // 0..3x rated
+		eta, err := c.Efficiency(units.Watts(load))
+		if err != nil {
+			return false
+		}
+		return eta >= lo-1e-12 && eta <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Evaluate never mutates the receiver (reentrancy).
+func TestCurveEvaluateReentrant(t *testing.T) {
+	c := NewTypicalBuck("b", "b", 2)
+	before := make([]EffPoint, len(c.Points))
+	copy(before, c.Points)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_, _ = model.Evaluate(c, model.Params{"pload": float64(i) / 50, "rated": 1})
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		_, _ = model.Evaluate(c, model.Params{"pload": float64(i) / 25, "rated": 3})
+	}
+	<-done
+	for i := range before {
+		if c.Points[i] != before[i] {
+			t.Fatal("Evaluate mutated the characteristic")
+		}
+	}
+}

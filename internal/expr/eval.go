@@ -1,0 +1,292 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+)
+
+// Value is a function argument: either a number or a string literal.
+type Value struct {
+	Num float64
+	Str string
+	// IsStr marks Str as the payload.
+	IsStr bool
+}
+
+// Float returns the numeric payload, or an error for string values.
+func (v Value) Float() (float64, error) {
+	if v.IsStr {
+		return 0, fmt.Errorf("expected number, got string %q", v.Str)
+	}
+	return v.Num, nil
+}
+
+// Func is a host-provided function callable from expressions.
+type Func func(args []Value) (float64, error)
+
+// Env supplies variable bindings during evaluation.
+type Env interface {
+	// Var resolves a (possibly dotted) variable name.
+	Var(name string) (float64, bool)
+}
+
+// FuncEnv is an Env that additionally supplies functions beyond the
+// built-in math library.  Host functions shadow built-ins of the same
+// name.
+type FuncEnv interface {
+	Env
+	Func(name string) (Func, bool)
+}
+
+// EmptyEnv has no variables; only literals and built-ins evaluate.
+type EmptyEnv struct{}
+
+// Var always reports the name as unbound.
+func (EmptyEnv) Var(string) (float64, bool) { return 0, false }
+
+// MapEnv is an Env backed by a map.
+type MapEnv map[string]float64
+
+// Var looks the name up in the map.
+func (m MapEnv) Var(name string) (float64, bool) {
+	v, ok := m[name]
+	return v, ok
+}
+
+// EvalError describes an evaluation failure (unbound variable, unknown
+// function, bad arity, domain error).
+type EvalError struct {
+	Expr string
+	Msg  string
+}
+
+func (e *EvalError) Error() string {
+	return fmt.Sprintf("expr: %s evaluating %q", e.Msg, e.Expr)
+}
+
+func (e *Expr) evalErr(format string, args ...any) error {
+	return &EvalError{Expr: e.src, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Eval computes the expression's value in the given environment.
+func (e *Expr) Eval(env Env) (float64, error) {
+	return e.eval(e.root, env)
+}
+
+func (e *Expr) eval(n Node, env Env) (float64, error) {
+	switch n := n.(type) {
+	case *Num:
+		return n.Value, nil
+	case *Str:
+		return 0, e.evalErr("string %q used as a number", n.Value)
+	case *Var:
+		if v, ok := env.Var(n.Name); ok {
+			return v, nil
+		}
+		return 0, e.evalErr("undefined variable %q", n.Name)
+	case *Unary:
+		x, err := e.eval(n.X, env)
+		if err != nil {
+			return 0, err
+		}
+		switch n.Op {
+		case "-":
+			return -x, nil
+		case "!":
+			if x == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+		return 0, e.evalErr("unknown unary operator %q", n.Op)
+	case *Binary:
+		return e.evalBinary(n, env)
+	case *Cond:
+		c, err := e.eval(n.C, env)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return e.eval(n.A, env)
+		}
+		return e.eval(n.B, env)
+	case *Call:
+		return e.evalCall(n, env)
+	}
+	return 0, e.evalErr("unknown node %T", n)
+}
+
+func (e *Expr) evalBinary(n *Binary, env Env) (float64, error) {
+	// Short-circuit boolean operators.
+	switch n.Op {
+	case "&&":
+		l, err := e.eval(n.L, env)
+		if err != nil {
+			return 0, err
+		}
+		if l == 0 {
+			return 0, nil
+		}
+		r, err := e.eval(n.R, env)
+		if err != nil {
+			return 0, err
+		}
+		return b2f(r != 0), nil
+	case "||":
+		l, err := e.eval(n.L, env)
+		if err != nil {
+			return 0, err
+		}
+		if l != 0 {
+			return 1, nil
+		}
+		r, err := e.eval(n.R, env)
+		if err != nil {
+			return 0, err
+		}
+		return b2f(r != 0), nil
+	}
+	l, err := e.eval(n.L, env)
+	if err != nil {
+		return 0, err
+	}
+	r, err := e.eval(n.R, env)
+	if err != nil {
+		return 0, err
+	}
+	switch n.Op {
+	case "+":
+		return l + r, nil
+	case "-":
+		return l - r, nil
+	case "*":
+		return l * r, nil
+	case "/":
+		if r == 0 {
+			return 0, e.evalErr("division by zero")
+		}
+		return l / r, nil
+	case "%":
+		if r == 0 {
+			return 0, e.evalErr("modulo by zero")
+		}
+		return math.Mod(l, r), nil
+	case "^":
+		return math.Pow(l, r), nil
+	case "==":
+		return b2f(l == r), nil
+	case "!=":
+		return b2f(l != r), nil
+	case "<":
+		return b2f(l < r), nil
+	case "<=":
+		return b2f(l <= r), nil
+	case ">":
+		return b2f(l > r), nil
+	case ">=":
+		return b2f(l >= r), nil
+	}
+	return 0, e.evalErr("unknown operator %q", n.Op)
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (e *Expr) evalCall(n *Call, env Env) (float64, error) {
+	// Host functions first: the sheet provides power("x"), area("x"), etc.
+	if fe, ok := env.(FuncEnv); ok {
+		if f, ok := fe.Func(n.Name); ok {
+			args := make([]Value, len(n.Args))
+			for i, a := range n.Args {
+				if s, ok := a.(*Str); ok {
+					args[i] = Value{Str: s.Value, IsStr: true}
+					continue
+				}
+				v, err := e.eval(a, env)
+				if err != nil {
+					return 0, err
+				}
+				args[i] = Value{Num: v}
+			}
+			v, err := f(args)
+			if err != nil {
+				return 0, e.evalErr("%s: %v", n.Name, err)
+			}
+			return v, nil
+		}
+	}
+	b, ok := builtins[n.Name]
+	if !ok {
+		return 0, e.evalErr("unknown function %q", n.Name)
+	}
+	if b.arity >= 0 && len(n.Args) != b.arity {
+		return 0, e.evalErr("%s expects %d argument(s), got %d", n.Name, b.arity, len(n.Args))
+	}
+	if b.arity < 0 && len(n.Args) < -b.arity {
+		return 0, e.evalErr("%s expects at least %d argument(s), got %d", n.Name, -b.arity, len(n.Args))
+	}
+	args := make([]float64, len(n.Args))
+	for i, a := range n.Args {
+		v, err := e.eval(a, env)
+		if err != nil {
+			return 0, err
+		}
+		args[i] = v
+	}
+	v, err := b.fn(args)
+	if err != nil {
+		return 0, e.evalErr("%s: %v", n.Name, err)
+	}
+	return v, nil
+}
+
+type builtin struct {
+	arity int // exact when >= 0; -n means "at least n"
+	fn    func(args []float64) (float64, error)
+}
+
+func fn1(f func(float64) float64) builtin {
+	return builtin{arity: 1, fn: func(a []float64) (float64, error) { return f(a[0]), nil }}
+}
+
+func fn2(f func(a, b float64) float64) builtin {
+	return builtin{arity: 2, fn: func(a []float64) (float64, error) { return f(a[0], a[1]), nil }}
+}
+
+var builtins = map[string]builtin{
+	"abs":   fn1(math.Abs),
+	"sqrt":  fn1(math.Sqrt),
+	"exp":   fn1(math.Exp),
+	"ln":    fn1(math.Log),
+	"log":   fn1(math.Log10),
+	"log10": fn1(math.Log10),
+	"log2":  fn1(math.Log2),
+	"floor": fn1(math.Floor),
+	"ceil":  fn1(math.Ceil),
+	"round": fn1(math.Round),
+	"pow":   fn2(math.Pow),
+	"min": {arity: -1, fn: func(a []float64) (float64, error) {
+		m := a[0]
+		for _, v := range a[1:] {
+			m = math.Min(m, v)
+		}
+		return m, nil
+	}},
+	"max": {arity: -1, fn: func(a []float64) (float64, error) {
+		m := a[0]
+		for _, v := range a[1:] {
+			m = math.Max(m, v)
+		}
+		return m, nil
+	}},
+	"if": {arity: 3, fn: func(a []float64) (float64, error) {
+		if a[0] != 0 {
+			return a[1], nil
+		}
+		return a[2], nil
+	}},
+}

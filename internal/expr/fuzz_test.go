@@ -1,0 +1,78 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Compile must never panic, whatever bytes arrive from a web form.
+func TestQuickCompileNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				t.Logf("panic on %q", src)
+				ok = false
+			}
+		}()
+		e, err := Compile(src)
+		if err != nil {
+			return true
+		}
+		// If it compiled, printing and re-parsing must also work.
+		printed := e.String()
+		if _, err := Compile(printed); err != nil {
+			t.Logf("reprint of %q -> %q fails: %v", src, printed, err)
+			return false
+		}
+		// Evaluation may fail (unbound vars) but must not panic.
+		_, _ = e.Eval(EmptyEnv{})
+		_ = e.Vars()
+		_ = e.Calls()
+		_, _ = e.Const()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Pathologically nested input must fail cleanly, not exhaust the
+// stack: these strings arrive straight from web forms.
+func TestDeepNestingRejected(t *testing.T) {
+	cases := []string{
+		strings.Repeat("(", 100000) + "1" + strings.Repeat(")", 100000),
+		strings.Repeat("-", 100000) + "1",
+		strings.Repeat("!", 100000) + "1",
+		strings.Repeat("min(", 50000) + "1" + strings.Repeat(")", 50000),
+	}
+	for _, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("deeply nested input should be rejected (len %d)", len(src))
+		} else if !strings.Contains(err.Error(), "nests deeper") {
+			t.Errorf("want depth error, got %v", err)
+		}
+	}
+	// Reasonable nesting still parses.
+	ok := strings.Repeat("(", 50) + "1" + strings.Repeat(")", 50)
+	if _, err := Compile(ok); err != nil {
+		t.Errorf("50 levels should parse: %v", err)
+	}
+}
+
+// Evaluation of a compiled expression is deterministic.
+func TestQuickEvalDeterministic(t *testing.T) {
+	env := MapEnv{"a": 3, "b": 5, "f": 2e6}
+	srcs := []string{
+		"a*b + f/16", "min(a, b) ^ 2", "a < b ? f : 0", "abs(a - b*f)",
+	}
+	f := func(pick uint8) bool {
+		e := MustCompile(srcs[int(pick)%len(srcs)])
+		v1, err1 := e.Eval(env)
+		v2, err2 := e.Eval(env)
+		return err1 == nil && err2 == nil && v1 == v2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,232 @@
+package expr
+
+type parser struct {
+	lex   lexer
+	tok   token
+	err   error
+	depth int
+}
+
+// maxDepth bounds expression nesting so pathological form input
+// ("(((((…" or "-----…") fails cleanly instead of exhausting the
+// stack.  Real spreadsheet cells nest a handful of levels.
+const maxDepth = 200
+
+func (p *parser) enter() bool {
+	p.depth++
+	if p.depth > maxDepth {
+		p.fail("expression nests deeper than %d levels", maxDepth)
+		return false
+	}
+	return true
+}
+
+func (p *parser) leave() { p.depth-- }
+
+// Compile parses src into an evaluable expression.
+func Compile(src string) (*Expr, error) {
+	p := &parser{lex: lexer{src: src}}
+	p.advance()
+	root := p.parseExpr()
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, errf(src, p.tok.pos, "unexpected %s", p.tok)
+	}
+	return &Expr{src: src, root: root}, nil
+}
+
+func (p *parser) advance() {
+	if p.err != nil {
+		return
+	}
+	t, err := p.lex.next()
+	if err != nil {
+		p.err = err
+		p.tok = token{kind: tokEOF, pos: p.lex.pos}
+		return
+	}
+	p.tok = t
+}
+
+func (p *parser) fail(format string, args ...any) Node {
+	if p.err == nil {
+		p.err = errf(p.lex.src, p.tok.pos, format, args...)
+	}
+	return &Num{}
+}
+
+func (p *parser) expectOp(text string) {
+	if p.err != nil {
+		return
+	}
+	if p.tok.kind != tokOp || p.tok.text != text {
+		p.fail("expected %q, found %s", text, p.tok)
+		return
+	}
+	p.advance()
+}
+
+func (p *parser) isOp(text string) bool {
+	return p.err == nil && p.tok.kind == tokOp && p.tok.text == text
+}
+
+// parseExpr = cond
+func (p *parser) parseExpr() Node {
+	if !p.enter() {
+		return &Num{}
+	}
+	defer p.leave()
+	return p.parseCond()
+}
+
+func (p *parser) parseCond() Node {
+	c := p.parseOr()
+	if !p.isOp("?") {
+		return c
+	}
+	p.advance()
+	a := p.parseExpr()
+	p.expectOp(":")
+	b := p.parseExpr()
+	return &Cond{C: c, A: a, B: b}
+}
+
+func (p *parser) parseOr() Node {
+	n := p.parseAnd()
+	for p.err == nil && p.tok.kind == tokBoolOp && p.tok.text == "||" {
+		p.advance()
+		n = &Binary{Op: "||", L: n, R: p.parseAnd()}
+	}
+	return n
+}
+
+func (p *parser) parseAnd() Node {
+	n := p.parseCmp()
+	for p.err == nil && p.tok.kind == tokBoolOp && p.tok.text == "&&" {
+		p.advance()
+		n = &Binary{Op: "&&", L: n, R: p.parseCmp()}
+	}
+	return n
+}
+
+func (p *parser) parseCmp() Node {
+	n := p.parseSum()
+	if p.err == nil && p.tok.kind == tokRelOp {
+		op := p.tok.text
+		p.advance()
+		n = &Binary{Op: op, L: n, R: p.parseSum()}
+	}
+	return n
+}
+
+func (p *parser) parseSum() Node {
+	n := p.parseTerm()
+	for p.err == nil && p.tok.kind == tokOp && (p.tok.text == "+" || p.tok.text == "-") {
+		op := p.tok.text
+		p.advance()
+		n = &Binary{Op: op, L: n, R: p.parseTerm()}
+	}
+	return n
+}
+
+func (p *parser) parseTerm() Node {
+	n := p.parsePow()
+	for p.err == nil && p.tok.kind == tokOp && (p.tok.text == "*" || p.tok.text == "/" || p.tok.text == "%") {
+		op := p.tok.text
+		p.advance()
+		n = &Binary{Op: op, L: n, R: p.parsePow()}
+	}
+	return n
+}
+
+// parsePow handles exponentiation, right associative: 2^3^2 == 2^(3^2).
+func (p *parser) parsePow() Node {
+	n := p.parseUnary()
+	if p.isOp("^") {
+		p.advance()
+		return &Binary{Op: "^", L: n, R: p.parsePow()}
+	}
+	return n
+}
+
+func (p *parser) parseUnary() Node {
+	if !p.enter() {
+		return &Num{}
+	}
+	defer p.leave()
+	if p.err == nil {
+		switch {
+		case p.tok.kind == tokOp && (p.tok.text == "-" || p.tok.text == "+"):
+			op := p.tok.text
+			p.advance()
+			x := p.parseUnary()
+			if op == "+" {
+				return x
+			}
+			// Fold negation of literals so "-1.5" is a Num.
+			if num, ok := x.(*Num); ok {
+				return &Num{Value: -num.Value, Text: "-" + num.Text}
+			}
+			return &Unary{Op: op, X: x}
+		case p.tok.kind == tokBoolOp && p.tok.text == "!":
+			p.advance()
+			return &Unary{Op: "!", X: p.parseUnary()}
+		}
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() Node {
+	if p.err != nil {
+		return &Num{}
+	}
+	switch p.tok.kind {
+	case tokNumber:
+		n := &Num{Value: p.tok.num, Text: p.tok.text}
+		p.advance()
+		return n
+	case tokString:
+		n := &Str{Value: p.tok.str}
+		p.advance()
+		return n
+	case tokIdent:
+		name := p.tok.text
+		p.advance()
+		if p.isOp("(") {
+			return p.parseCallArgs(name)
+		}
+		return &Var{Name: name}
+	case tokOp:
+		if p.tok.text == "(" {
+			p.advance()
+			n := p.parseExpr()
+			p.expectOp(")")
+			return n
+		}
+	}
+	return p.fail("expected operand, found %s", p.tok)
+}
+
+func (p *parser) parseCallArgs(name string) Node {
+	p.expectOp("(")
+	call := &Call{Name: name}
+	if p.isOp(")") {
+		p.advance()
+		return call
+	}
+	for {
+		call.Args = append(call.Args, p.parseExpr())
+		if p.err != nil {
+			return call
+		}
+		if p.isOp(",") {
+			p.advance()
+			continue
+		}
+		break
+	}
+	p.expectOp(")")
+	return call
+}

@@ -1,0 +1,77 @@
+// Package expr implements the expression language used by PowerPlay's
+// spreadsheet cells and user-defined models.
+//
+// Any parameter of any subcircuit may be an expression over design
+// variables ("VDD1", "f/16", "bits*words*0.6p"), over the computed
+// results of other modules ("power(\"radio\") + power(\"cpu\")" — the
+// inter-model interaction the paper uses for DC-DC converters and
+// interconnect), and over a small library of mathematical functions.
+//
+// The language is a conventional arithmetic expression grammar:
+//
+//	expr    = cond
+//	cond    = or [ "?" expr ":" expr ]
+//	or      = and { "||" and }
+//	and     = cmp { "&&" cmp }
+//	cmp     = sum [ ("=="|"!="|"<"|"<="|">"|">=") sum ]
+//	sum     = term { ("+"|"-") term }
+//	term    = pow { ("*"|"/"|"%") pow }
+//	pow     = unary [ "^" pow ]            (right associative)
+//	unary   = ("-"|"+"|"!") unary | primary
+//	primary = number | string | ident [ "(" args ")" ] | "(" expr ")"
+//
+// Numbers accept engineering notation with SI suffixes: "253fF", "2MHz",
+// "100u", "2Meg", "1e-3".  Identifiers are dotted paths ("lut.words").
+// Booleans are represented as 0 and 1.
+package expr
+
+import "fmt"
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokNumber
+	tokString
+	tokIdent
+	tokOp     // + - * / % ^ ( ) , ? :
+	tokRelOp  // == != < <= > >=
+	tokBoolOp // && || !
+)
+
+type token struct {
+	kind tokenKind
+	pos  int
+	text string  // operator text or identifier or raw literal
+	num  float64 // valid when kind == tokNumber
+	str  string  // valid when kind == tokString
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of expression"
+	case tokNumber:
+		return fmt.Sprintf("number %s", t.text)
+	case tokString:
+		return fmt.Sprintf("string %q", t.str)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// SyntaxError describes a lexical or parse failure, with the byte offset
+// into the source expression.
+type SyntaxError struct {
+	Src string
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("expr: %s at offset %d in %q", e.Msg, e.Pos, e.Src)
+}
+
+func errf(src string, pos int, format string, args ...any) error {
+	return &SyntaxError{Src: src, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

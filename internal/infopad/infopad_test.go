@@ -1,0 +1,229 @@
+package infopad
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"powerplay/internal/core/sheet"
+	"powerplay/internal/library"
+)
+
+func build(t *testing.T) (*sheet.Design, *sheet.Result) {
+	t.Helper()
+	reg := library.Standard()
+	d, err := Build(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, r
+}
+
+func TestSystemEvaluates(t *testing.T) {
+	_, r := build(t)
+	total := float64(r.Power)
+	// Reconstructed total: a couple of watts, an order of magnitude
+	// sanity band rather than a point estimate.
+	if total < 1 || total > 6 {
+		t.Errorf("system total = %v W, outside plausible band", total)
+	}
+	// Every Figure 5 row is present.
+	for _, name := range []string{
+		"custom_hardware", "radio_subsystem", "display_lcds",
+		"uP_subsystem", "support_electronics", "voltage_converters",
+		"other_io_devices",
+	} {
+		if r.Find(name) == nil {
+			t.Errorf("missing subsystem %q", name)
+		}
+	}
+}
+
+func TestCustomHardwareIsUnderOnePercent(t *testing.T) {
+	// The paper's pitfall: effort is spent where the power is not.
+	// The custom low-power chipset is a sliver of the system.
+	_, r := build(t)
+	custom := float64(r.Find("custom_hardware").Power)
+	total := float64(r.Power)
+	if frac := custom / total; frac > 0.02 {
+		t.Errorf("custom hardware = %.2f%% of total, want < 2%%", 100*frac)
+	}
+	// And the video chip itself (the whole Figure 2 exercise!) is a
+	// sliver of the sliver.
+	lum := float64(r.Find("custom_hardware/luminance").Power)
+	if lum < 100e-6 || lum > 200e-6 {
+		t.Errorf("luminance macro = %v W, want ≈142 µW", lum)
+	}
+}
+
+func TestCommodityPartsDominate(t *testing.T) {
+	_, r := build(t)
+	total := float64(r.Power)
+	commodity := float64(r.Find("display_lcds").Power) +
+		float64(r.Find("uP_subsystem").Power) +
+		float64(r.Find("other_io_devices").Power) +
+		float64(r.Find("radio_subsystem").Power)
+	if frac := commodity / total; frac < 0.75 {
+		t.Errorf("commodity fraction = %.0f%%, want > 75%%", 100*frac)
+	}
+}
+
+func TestConverterTracksLoad(t *testing.T) {
+	// EQ 19 inter-model interaction: at 80% efficiency the converter row
+	// must equal exactly a quarter of the fed subsystems' power.
+	_, r := build(t)
+	load := float64(r.Find("custom_hardware").Power) +
+		float64(r.Find("radio_subsystem").Power) +
+		float64(r.Find("uP_subsystem").Power)
+	conv := float64(r.Find("voltage_converters").Power)
+	if math.Abs(conv-0.25*load) > 1e-9 {
+		t.Errorf("converter = %v, want (1-0.8)/0.8 × %v", conv, load)
+	}
+}
+
+func TestWhatIfReducesConverterLoss(t *testing.T) {
+	// Duty-cycling the processor from the TOP page must shrink both the
+	// processor row and the converter row — no manual re-plumbing.
+	d, base := build(t)
+	cpu := d.Root.Find("uP_subsystem/cpu")
+	if err := cpu.SetParam("act", "0.40"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := d.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(after.Find("uP_subsystem").Power < base.Find("uP_subsystem").Power) {
+		t.Error("processor row should shrink")
+	}
+	if !(after.Find("voltage_converters").Power < base.Find("voltage_converters").Power) {
+		t.Error("converter row should track the reduced load")
+	}
+	if !(after.Power < base.Power) {
+		t.Error("total should shrink")
+	}
+}
+
+func TestMixedSupplies(t *testing.T) {
+	// Rows run at different supplies — 1.5 V custom, 3.3 V logic, 5 V
+	// analog — within one sheet.
+	_, r := build(t)
+	if got := r.Find("custom_hardware/chrominance_u").Params["vdd"]; got != 1.5 {
+		t.Errorf("custom supply = %v", got)
+	}
+	if got := r.Find("uP_subsystem/cpu").Params["vdd"]; got != 3.3 {
+		t.Errorf("logic supply = %v", got)
+	}
+	if got := r.Find("radio_subsystem/receiver_frontend").Params["vdd"]; got != 5.0 {
+		t.Errorf("analog supply = %v", got)
+	}
+}
+
+func TestRadioIsStaticPower(t *testing.T) {
+	// The RF front end is EQ 13 bias current: all static, no V² term.
+	_, r := build(t)
+	rf := r.Find("radio_subsystem/receiver_frontend")
+	if float64(rf.DynamicPower) != 0 {
+		t.Error("analog front end should have no dynamic term")
+	}
+	// 4 branches × 12 mA × 5 V = 240 mW.
+	if got := float64(rf.Power); math.Abs(got-0.24) > 1e-9 {
+		t.Errorf("receiver = %v, want 0.24", got)
+	}
+}
+
+func TestMacroRegisteredOnce(t *testing.T) {
+	reg := library.Standard()
+	if _, err := Build(reg); err != nil {
+		t.Fatal(err)
+	}
+	n := reg.Len()
+	// Building a second system over the same library reuses the macro.
+	if _, err := Build(reg); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != n {
+		t.Error("second Build should not duplicate the macro")
+	}
+}
+
+func TestBreakdownReport(t *testing.T) {
+	d, r := build(t)
+	rows := sheet.Breakdown(r)
+	if len(rows) != 7 {
+		t.Fatalf("breakdown rows = %d", len(rows))
+	}
+	var b strings.Builder
+	sheet.Report(&b, d, r)
+	out := b.String()
+	for _, want := range []string{"InfoPad", "radio_subsystem", "voltage_converters", "TOTAL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestBatteryLife(t *testing.T) {
+	_, r := build(t)
+	// A mid-90s 15 Wh NiMH pack at 90% usable.
+	h, err := BatteryLife(r.Power, 15, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 15 * 0.9 / float64(r.Power)
+	if math.Abs(h-want) > 1e-9 {
+		t.Errorf("hours = %v, want %v", h, want)
+	}
+	if h < 3 || h > 10 {
+		t.Errorf("runtime %v h implausible for the reconstructed terminal", h)
+	}
+	// Duty-cycling the CPU extends life.
+	d, _ := build(t)
+	d.Root.Find("uP_subsystem/cpu").SetParam("act", "0.3")
+	r2, err := d.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := BatteryLife(r2.Power, 15, 0.9)
+	if h2 <= h {
+		t.Error("lower power should extend runtime")
+	}
+	// Errors.
+	if _, err := BatteryLife(0, 15, 0.9); err == nil {
+		t.Error("zero power should fail")
+	}
+	if _, err := BatteryLife(1, 0, 0.9); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	if _, err := BatteryLife(1, 15, 1.5); err == nil {
+		t.Error("bad derate should fail")
+	}
+}
+
+func TestJSONRoundTripSystem(t *testing.T) {
+	reg := library.Standard()
+	d, err := Build(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := d.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := sheet.ParseDesign(blob, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := d.Evaluate()
+	r2, err := d2.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Power != r2.Power {
+		t.Errorf("round trip changed total: %v vs %v", r1.Power, r2.Power)
+	}
+}

@@ -1,0 +1,85 @@
+package infopad
+
+import (
+	"errors"
+
+	"powerplay/internal/core/model"
+	"powerplay/internal/core/sheet"
+	"powerplay/internal/library"
+)
+
+// ProtocolChip builds the radio protocol chip as its own design sheet:
+// the place the controller models (EQ 9–10) get used in anger rather
+// than in isolation.  The chip frames packets for the radio link: a
+// ROM-based sequencer steps the protocol states, a small random-logic
+// block decodes header fields, an SRAM FIFO buffers a packet, a
+// checksum datapath folds the payload, and pads drive the radio.
+//
+// The paper's guidance applies directly: the two controller rows are
+// the least certain numbers on the sheet ("interpret with caution"),
+// and swapping their implementation platform is a one-cell edit.
+func ProtocolChip(reg *model.Registry) (*sheet.Design, error) {
+	d := sheet.NewDesign("ProtocolChip", reg)
+	d.Doc = "Radio protocol/framing chip: sequencer, field decode, packet FIFO, checksum, pads"
+	d.Root.SetGlobalValue("vdd", 1.5, "1.5")
+	d.Root.SetGlobalValue("f", 1e6, "1MHz") // byte clock of the link
+
+	rows := []struct {
+		name, modelName, doc string
+		params               map[string]string
+	}{
+		{"sequencer", library.ROMCtrl,
+			"Protocol state sequencer: 6 state/status inputs, 24 control outputs (EQ 10).",
+			map[string]string{"ni": "6", "no": "24", "po": "0.5"}},
+		{"field_decode", library.RandomCtrl,
+			"Header field decoder: sparse two-level logic (EQ 9).",
+			map[string]string{"ni": "8", "no": "12", "nm": "24"}},
+		{"packet_fifo", library.LowSwingSRAM,
+			"One-packet buffer with reduced-swing bit lines (EQ 8).",
+			map[string]string{"words": "2048", "bits": "8", "f": "f/2"}},
+		{"checksum", library.RippleAdder,
+			"Payload checksum fold (adder proxy for the XOR tree).",
+			map[string]string{"bits": "16", "f": "f/2"}},
+		{"pads", library.PadBuffer,
+			"Serial link drivers toward the radio.",
+			map[string]string{"bits": "2", "f": "f"}},
+	}
+	for _, row := range rows {
+		n, err := d.Root.AddChild(row.name, row.modelName)
+		if err != nil {
+			return nil, err
+		}
+		n.Doc = row.doc
+		for _, key := range []string{"ni", "no", "po", "nm", "words", "bits", "f"} {
+			if src, ok := row.params[key]; ok {
+				if err := n.SetParam(key, src); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return d, nil
+}
+
+// SwapSequencerPlatform rebinds the sequencer row to another controller
+// platform with equivalent N_I/N_O — the one-cell what-if the paper's
+// controller section motivates.  Supported models: library.ROMCtrl,
+// library.RandomCtrl, library.PLACtrl.
+func SwapSequencerPlatform(d *sheet.Design, modelName string) error {
+	seq := d.Root.Find("sequencer")
+	if seq == nil {
+		return errors.New("infopad: design has no sequencer row")
+	}
+	seq.Model = modelName
+	// Platform-specific parameters: keep N_I/N_O, drop the rest.
+	seq.DeleteParam("po")
+	seq.DeleteParam("nm")
+	seq.DeleteParam("np")
+	switch modelName {
+	case library.RandomCtrl:
+		return seq.SetParam("nm", "40")
+	case library.PLACtrl:
+		return seq.SetParam("np", "40")
+	}
+	return nil
+}

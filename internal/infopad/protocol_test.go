@@ -1,0 +1,73 @@
+package infopad
+
+import (
+	"testing"
+
+	"powerplay/internal/library"
+)
+
+func TestProtocolChipEvaluates(t *testing.T) {
+	reg := library.Standard()
+	d, err := ProtocolChip(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// µW-scale custom chip at 1.5 V / 1 MHz.
+	p := float64(r.Power)
+	if p < 20e-6 || p > 2e-3 {
+		t.Errorf("protocol chip = %v W, implausible", p)
+	}
+	for _, row := range []string{"sequencer", "field_decode", "packet_fifo", "checksum", "pads"} {
+		if r.Find(row) == nil {
+			t.Errorf("missing row %q", row)
+		}
+	}
+	// The FIFO should dominate (memory beats control, as always).
+	fifo := float64(r.Find("packet_fifo").Power)
+	seq := float64(r.Find("sequencer").Power)
+	if fifo <= seq {
+		t.Errorf("FIFO (%v) should dominate the sequencer (%v)", fifo, seq)
+	}
+}
+
+func TestSwapSequencerPlatform(t *testing.T) {
+	reg := library.Standard()
+	d, err := ProtocolChip(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := d.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	romSeq := float64(base.Find("sequencer").Power)
+
+	if err := SwapSequencerPlatform(d, library.PLACtrl); err != nil {
+		t.Fatal(err)
+	}
+	pla, err := d.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plaSeq := float64(pla.Find("sequencer").Power)
+	if plaSeq >= romSeq {
+		t.Errorf("a 40-term PLA should beat the full 2^6-row ROM: %v vs %v", plaSeq, romSeq)
+	}
+
+	if err := SwapSequencerPlatform(d, library.RandomCtrl); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Evaluate(); err != nil {
+		t.Fatalf("random-logic swap: %v", err)
+	}
+	// Swapping on a sheet without the row fails cleanly.
+	empty, _ := ProtocolChip(library.Standard())
+	empty.Root.RemoveChild("sequencer")
+	if err := SwapSequencerPlatform(empty, library.PLACtrl); err == nil {
+		t.Error("missing sequencer should fail")
+	}
+}

@@ -1,0 +1,231 @@
+// Package library assembles PowerPlay's model library: the
+// pre-characterized UC Berkeley low-power cells the paper ships with,
+// data-sheet commodity parts for system-level work, and user-defined
+// equation models entered through the web form and persisted as JSON.
+package library
+
+import (
+	"powerplay/internal/analog"
+	"powerplay/internal/cells"
+	"powerplay/internal/core/model"
+	"powerplay/internal/ctrl"
+	"powerplay/internal/dcdc"
+	"powerplay/internal/proc"
+	"powerplay/internal/storage"
+	"powerplay/internal/units"
+	"powerplay/internal/wire"
+)
+
+// Cell names of the standard library, so call sites don't scatter
+// string literals.
+const (
+	RippleAdder     = "ucb.add.ripple"
+	CLAAdder        = "ucb.add.cla"
+	SvenssonAdder   = "ucb.add.svensson"
+	ArrayMultiplier = "ucb.mult.array"
+	LogShifter      = "ucb.shift.log"
+	Mux             = "ucb.mux"
+	Register        = "ucb.reg"
+	SRAM            = "ucb.sram"
+	LowSwingSRAM    = "ucb.sram.lowswing"
+	DRAM            = "commodity.dram"
+	PadBuffer       = "ucb.pad"
+	ClockBuffer     = "ucb.clkbuf"
+	RandomCtrl      = "ucb.ctrl.random"
+	ROMCtrl         = "ucb.ctrl.rom"
+	PLACtrl         = "ucb.ctrl.pla"
+	Wire            = "ucb.wire"
+	AnalogBias      = "analog.bias"
+	AnalogOTA       = "analog.ota"
+	AnalogOTACMOS   = "analog.ota.cmos"
+	DCDC            = "power.dcdc"
+	DCDCCurve       = "power.dcdc.curve"
+	GenericCPU      = "proc.datasheet"
+	FixedPart       = "commodity.fixed"
+)
+
+// Standard builds a registry holding the full built-in library.
+//
+// The capacitance coefficients are re-characterizations: the original
+// UCB numbers live in theses that are not public, so the library is
+// calibrated against the two absolute anchors the paper publishes (the
+// Figure 3 implementation at ≈150 µW and its ≈5× ratio to Figure 1, at
+// 1.5 V / 2 MHz).  EQ 20's 253 fF multiplier coefficient is printed in
+// the paper and used verbatim.
+func Standard() *model.Registry {
+	r := model.NewRegistry()
+
+	r.MustRegister(&cells.Linear{
+		Name: RippleAdder, Title: "Ripple-carry adder",
+		Doc: "EQ 2-3 Landman cell: single coefficient relating input bit-width " +
+			"to total switched capacitance, C_T = bitwidth × C0.",
+		CapPerBit:  48 * units.FemtoFarad,
+		AreaPerBit: 900 * units.SquareMicron,
+		Delay0:     2e-9, DelayPerBit: 1.5e-9,
+	})
+	r.MustRegister(&cells.Linear{
+		Name: CLAAdder, Title: "Carry-lookahead adder",
+		Doc: "Faster, hungrier adder: ~1.7× the ripple capacitance, " +
+			"logarithmic-ish delay budgeted as a small per-bit slope.",
+		CapPerBit:  82 * units.FemtoFarad,
+		AreaPerBit: 1500 * units.SquareMicron,
+		Delay0:     3e-9, DelayPerBit: 0.25e-9,
+	})
+	r.MustRegister(&cells.Svensson{
+		Name: SvenssonAdder, Title: "Adder (Svensson analytical)",
+		Doc: "EQ 4-6 analytical model of a two-stage full-adder bit slice: " +
+			"no characterization simulations required.",
+		Slice: []cells.Stage{
+			{Label: "carry", Cin: 22 * units.FemtoFarad, Cout: 30 * units.FemtoFarad, AlphaIn: 0.5, AlphaOut: 0.25},
+			{Label: "sum", Cin: 16 * units.FemtoFarad, Cout: 26 * units.FemtoFarad, AlphaIn: 0.5, AlphaOut: 0.5},
+		},
+		AreaPerBit:    950 * units.SquareMicron,
+		DelayPerStage: 1.8e-9,
+	})
+	r.MustRegister(&cells.Multiplier{
+		Name: ArrayMultiplier, Title: "Array multiplier",
+		Doc: "EQ 20: C_T = bitwidthA × bitwidthB × 253 fF for non-correlated " +
+			"inputs; a reduced coefficient applies to correlated streams.",
+		CoeffUncorr: 253 * units.FemtoFarad,
+		CoeffCorr:   170 * units.FemtoFarad,
+		AreaPerBit2: 2500 * units.SquareMicron,
+		DelayPerBit: 2e-9,
+	})
+	r.MustRegister(&cells.Shifter{
+		Name: LogShifter, Title: "Logarithmic shifter",
+		Doc:             "Mux-tree shifter; capacitance per bit per stage, stages = ceil(log2(maxshift+1)).",
+		CapPerBitStage:  30 * units.FemtoFarad,
+		AreaPerBitStage: 250 * units.SquareMicron,
+		DelayPerStage:   1e-9,
+	})
+	r.MustRegister(&cells.Mux{
+		Name: Mux, Title: "Multiplexor",
+		Doc:           "n-way select tree: C_T = bits × (inputs−1) × C_leg.",
+		CapPerLeg:     100 * units.FemtoFarad,
+		AreaPerLeg:    120 * units.SquareMicron,
+		DelayPerLevel: 0.8e-9,
+	})
+	r.MustRegister(&storage.RegisterFile{
+		Name: Register, Title: "Register / register file",
+		Doc: "Small storage modeled like a computational element; clock load " +
+			"on every cell is included, as the paper notes.",
+		CapPerBit:  150 * units.FemtoFarad,
+		CapPerCell: 150 * units.FemtoFarad,
+		CellArea:   400 * units.SquareMicron,
+		Delay:      1.2e-9,
+	})
+	r.MustRegister(ucbSRAM(SRAM, "Low-power SRAM",
+		"EQ 7: C_T = C0 + C1·words + C1·bits + C2·words·bits, characterized "+
+			"at the 1.5 V operating point of the UCB low-power library."))
+	lowswing := ucbSRAM(LowSwingSRAM, "Low-swing SRAM",
+		"EQ 8 variant with reduced bit-line swings; characterized at more "+
+			"than one voltage level to extract Cpartialswing and Vswing.")
+	lowswing.DefaultSwing = storage.ReducedSwing
+	r.MustRegister(lowswing)
+	r.MustRegister(&storage.DRAM{
+		Name: DRAM, Title: "Commodity DRAM",
+		Doc: "First-order dynamic memory: EQ 7 access terms plus refresh. " +
+			"Coefficients reflect a banked megabit part: only one bank's " +
+			"word line and a page of bit lines switch per access.",
+		C0:    30 * units.PicoFarad,
+		CWord: 0.02 * units.FemtoFarad, CBit: 1 * units.PicoFarad,
+		CWordBit:      0.0005 * units.FemtoFarad,
+		RefreshPeriod: 16e-3,
+		CellArea:      8 * units.SquareMicron,
+		Delay0:        60e-9,
+	})
+	r.MustRegister(&cells.Buffer{
+		Name: PadBuffer, Title: "Output pad buffer",
+		Doc:         "Pad driver plus external load; activity is the data transition probability.",
+		CapInternal: 250 * units.FemtoFarad,
+		DefaultLoad: 750 * units.FemtoFarad,
+		AreaPerBit:  4000 * units.SquareMicron,
+		Delay:       3e-9,
+	})
+	r.MustRegister(&cells.Buffer{
+		Name: ClockBuffer, Title: "Clock buffer",
+		Doc:         "On-chip clock driver; activity 1 (switches every cycle).",
+		CapInternal: 400 * units.FemtoFarad,
+		DefaultLoad: 2 * units.PicoFarad,
+		AreaPerBit:  1200 * units.SquareMicron,
+		Delay:       1.5e-9,
+	})
+	r.MustRegister(&ctrl.RandomLogic{
+		Name: RandomCtrl, Title: "Random-logic controller",
+		Doc: "EQ 9: C_T = C0·α0·N_I·N_O + C1·α1·N_M·N_O with α = 0.25 for " +
+			"randomly distributed input vectors.",
+		C0: 40 * units.FemtoFarad, C1: 40 * units.FemtoFarad,
+		AreaPerGate: 200 * units.SquareMicron, DelayPerLevel: 2e-9,
+	})
+	r.MustRegister(&ctrl.ROM{
+		Name: ROMCtrl, Title: "ROM controller",
+		Doc: "EQ 10 with precharged word/bit lines; P_O is the average " +
+			"fraction of low output bits.",
+		C0: 2 * units.PicoFarad, C1: 1 * units.FemtoFarad,
+		C2: 0.05 * units.FemtoFarad, C3: 5 * units.FemtoFarad, C4: 20 * units.FemtoFarad,
+		AreaPerCell: 15 * units.SquareMicron, Delay0: 8e-9,
+	})
+	r.MustRegister(&ctrl.PLA{
+		Name: PLACtrl, Title: "PLA controller",
+		Doc: "ROM-style model with word lines replaced by product terms.",
+		C0:  1 * units.PicoFarad, CAnd: 2 * units.FemtoFarad, COr: 2 * units.FemtoFarad,
+		AreaPerCrosspoint: 10 * units.SquareMicron, Delay0: 6e-9,
+	})
+	r.MustRegister(&wire.Interconnect{
+		Name: Wire, Title: "Interconnect (Rent/Donath)",
+		Doc: "Average wire length from hierarchical placement; bind the area " +
+			"parameter to area(...) of the composing modules.",
+		CapPerMeter: 200e-12, // 0.2 pF/mm
+		WirePitch:   2.4e-6,
+	})
+	r.MustRegister(&analog.Bias{
+		Name: AnalogBias, Title: "Analog bias block",
+		Doc:  "EQ 13: power is the linear product of supply and summed bias currents.",
+		Area: 0.05e-6,
+	})
+	r.MustRegister(&analog.TransconductanceAmp{
+		Name: AnalogOTA, Title: "Bipolar transconductance amplifier",
+		Doc: "EQ 14-17: parameterized by Gm, Rid or Ro exactly like a digital " +
+			"adder is parameterized by bit-width.",
+		Area: 0.1e-6,
+	})
+	r.MustRegister(&analog.CMOSOTA{
+		Name: AnalogOTACMOS, Title: "CMOS operational transconductance amplifier",
+		Doc: "Square-law MOS counterpart of the bipolar pair: Gm specs fix " +
+			"the tail current as Gm²/(k'·W/L).",
+		Area: 0.08e-6,
+	})
+	r.MustRegister(&dcdc.Converter{
+		Name: DCDC, Title: "DC-DC converter",
+		Doc: "EQ 18-19: dissipation from load power and efficiency; bind pload " +
+			"to power(...) of the modules it feeds.",
+		DefaultEta: 0.9,
+	})
+	r.MustRegister(dcdc.NewTypicalBuck(DCDCCurve, "DC-DC converter (measured efficiency curve)", 2))
+	r.MustRegister(&proc.Datasheet{
+		Name: GenericCPU, Title: "Embedded processor (data sheet)",
+		Doc: "EQ 11: P = α·P_AVG from the data book; α < 1 models power-down " +
+			"duty cycling.",
+		PAvg: 0.5, RatedVDD: 3.3, RatedFreq: 20e6,
+	})
+	r.MustRegister(&Fixed{
+		Name: FixedPart, Title: "Data-sheet component",
+		Doc: "Any commodity part whose power is read straight from its data " +
+			"sheet or measured: LCDs, radios, codecs, servos.",
+	})
+	return r
+}
+
+// ucbSRAM builds the calibrated SRAM cell.
+func ucbSRAM(name, title, doc string) *storage.SRAM {
+	return &storage.SRAM{
+		Name: name, Title: title, Doc: doc,
+		C0:            6.25 * units.PicoFarad,
+		CWord:         31.25 * units.FemtoFarad,
+		CBit:          500 * units.FemtoFarad,
+		CWordBit:      0.6 * units.FemtoFarad,
+		CellArea:      120 * units.SquareMicron,
+		PeripheryArea: 0.04e-6,
+		Delay0:        10e-9,
+	}
+}

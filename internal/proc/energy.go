@@ -1,0 +1,252 @@
+package proc
+
+import (
+	"fmt"
+
+	"powerplay/internal/cachesim"
+	"powerplay/internal/core/model"
+	"powerplay/internal/units"
+)
+
+// Datasheet is the EQ 11 first-order processor model: P = α·P_AVG, the
+// average power from the part's data book (or measurement), scaled by
+// the activity factor α ≤ 1 of the duty cycle the system imposes.  A
+// processor with no power-down capability has α = 1.  Optional
+// frequency/voltage derating factors support what-if exploration of
+// parts offered at several operating points.
+type Datasheet struct {
+	// Name, Title, Doc identify the part.
+	Name, Title, Doc string
+	// PAvg is the data-book average power at the rated operating point.
+	PAvg units.Watts
+	// RatedVDD and RatedFreq are the data-book operating point; when a
+	// sheet binds vdd/f away from them the model derates by
+	// (vdd/rated)²·(f/rated), the first-order CMOS scaling.
+	RatedVDD  units.Volts
+	RatedFreq units.Hertz
+}
+
+// Info implements model.Model.
+func (d *Datasheet) Info() model.Info {
+	return model.Info{
+		Name:  d.Name,
+		Title: d.Title,
+		Class: model.Processor,
+		Doc:   d.Doc,
+		Params: []model.Param{
+			{Name: model.ParamVDD, Doc: "supply voltage", Unit: "V", Default: float64(d.RatedVDD), Min: 0.5, Max: 10},
+			{Name: model.ParamFreq, Doc: "clock frequency", Unit: "Hz", Default: float64(d.RatedFreq), Min: 0, Max: 10e9},
+			{Name: model.ParamTech, Doc: "feature size (unused for data-sheet parts)", Unit: "m", Default: 0, Min: 0, Max: 1e-5},
+			{Name: "act", Doc: "activity factor α (1 = no power-down)", Default: 1, Min: 0, Max: 1},
+		},
+	}
+}
+
+// Evaluate implements model.Model.
+func (d *Datasheet) Evaluate(p model.Params) (*model.Estimate, error) {
+	power := float64(d.PAvg) * p["act"]
+	vdd := p.VDD()
+	if d.RatedVDD > 0 && vdd != d.RatedVDD {
+		r := float64(vdd) / float64(d.RatedVDD)
+		power *= r * r
+	}
+	if d.RatedFreq > 0 && p.Freq() != d.RatedFreq {
+		power *= float64(p.Freq()) / float64(d.RatedFreq)
+	}
+	e := &model.Estimate{VDD: vdd}
+	if vdd > 0 {
+		e.AddStatic("EQ 11 average draw", units.Amps(power/float64(vdd)))
+	}
+	e.Note("EQ 11: P = α·P_AVG; computation mix, cache and branch behaviour not modeled")
+	return e, nil
+}
+
+// EnergyTable holds E_inst per instruction class, characterized at a
+// reference supply; energy scales with (VDD/ref)².
+type EnergyTable struct {
+	// PerClass is the energy per executed instruction of each class.
+	PerClass [numClasses]units.Joules
+	// MissPenalty is the additional energy per cache miss (line fill
+	// from the next level).
+	MissPenalty units.Joules
+	// WritebackPenalty is the additional energy per dirty eviction.
+	WritebackPenalty units.Joules
+	// RefVDD is the characterization supply.
+	RefVDD units.Volts
+	// CPI maps executed instructions to cycles for the power
+	// denominator (time = instructions·CPI/f).
+	CPI float64
+}
+
+// DefaultEnergyTable is a plausible mid-90s embedded-core
+// characterization (3.3 V): loads and stores cost roughly 2–3× an ALU
+// operation, multiplies ~4×, divides ~8×, and a cache miss an order of
+// magnitude more than a hit.
+func DefaultEnergyTable() *EnergyTable {
+	t := &EnergyTable{RefVDD: 3.3, CPI: 1.4,
+		MissPenalty:      9 * units.NanoJoule,
+		WritebackPenalty: 5 * units.NanoJoule,
+	}
+	t.PerClass[ClassNop] = 0.2 * units.NanoJoule
+	t.PerClass[ClassALU] = 0.4 * units.NanoJoule
+	t.PerClass[ClassMul] = 1.6 * units.NanoJoule
+	t.PerClass[ClassDiv] = 3.2 * units.NanoJoule
+	t.PerClass[ClassLoad] = 1.1 * units.NanoJoule
+	t.PerClass[ClassStore] = 0.9 * units.NanoJoule
+	t.PerClass[ClassBranch] = 0.5 * units.NanoJoule
+	t.PerClass[ClassJump] = 0.4 * units.NanoJoule
+	t.PerClass[ClassCallRet] = 1.3 * units.NanoJoule
+	t.PerClass[ClassStack] = 1.0 * units.NanoJoule
+	return t
+}
+
+// ProgramEnergy evaluates EQ 12 over a profile: E_T = Σᵢ Nᵢ·E_inst,ᵢ at
+// the table's reference supply.
+func (t *EnergyTable) ProgramEnergy(p *Profile) units.Joules {
+	var e float64
+	for c, n := range p.ByClass {
+		e += float64(n) * float64(t.PerClass[c])
+	}
+	return units.Joules(e)
+}
+
+// RefinedEnergy adds the cache-miss and writeback penalties the paper
+// says EQ 12 alone neglects.
+func (t *EnergyTable) RefinedEnergy(p *Profile, cs cachesim.Stats) units.Joules {
+	base := float64(t.ProgramEnergy(p))
+	base += float64(cs.Misses()) * float64(t.MissPenalty)
+	base += float64(cs.Writebacks) * float64(t.WritebackPenalty)
+	return units.Joules(base)
+}
+
+// ScaleVDD returns the energy rescaled from the table's reference
+// supply to vdd (quadratic, full-swing CMOS).
+func (t *EnergyTable) ScaleVDD(e units.Joules, vdd units.Volts) units.Joules {
+	if t.RefVDD <= 0 || vdd <= 0 {
+		return e
+	}
+	r := float64(vdd) / float64(t.RefVDD)
+	return units.Joules(float64(e) * r * r)
+}
+
+// InstructionModel is the EQ 12 library model: a processor whose energy
+// is the profile-weighted sum of instruction energies, with optional
+// cache refinement.  It is constructed from a concrete run (profile +
+// cache stats), then behaves like any other sheet model: power is
+// E_T·(vdd/ref)² / (cycles/f).
+type InstructionModel struct {
+	// Name, Title, Doc identify the model.
+	Name, Title, Doc string
+	// Table is the per-class characterization.
+	Table *EnergyTable
+	// Prof is the profiled instruction mix.
+	Prof *Profile
+	// CacheStats, when non-nil, adds the miss penalties.
+	CacheStats *cachesim.Stats
+}
+
+// Info implements model.Model.
+func (m *InstructionModel) Info() model.Info {
+	return model.Info{
+		Name:  m.Name,
+		Title: m.Title,
+		Class: model.Processor,
+		Doc:   m.Doc,
+		Params: []model.Param{
+			{Name: model.ParamVDD, Doc: "supply voltage", Unit: "V", Default: float64(m.Table.RefVDD), Min: 0.5, Max: 10},
+			{Name: model.ParamFreq, Doc: "clock frequency", Unit: "Hz", Default: 20e6, Min: 1, Max: 10e9},
+			{Name: model.ParamTech, Doc: "feature size (characterized part)", Unit: "m", Default: 0, Min: 0, Max: 1e-5},
+		},
+	}
+}
+
+// Evaluate implements model.Model.
+func (m *InstructionModel) Evaluate(p model.Params) (*model.Estimate, error) {
+	if m.Table == nil || m.Prof == nil {
+		return nil, fmt.Errorf("instruction model %q missing table or profile", m.Name)
+	}
+	var energy units.Joules
+	if m.CacheStats != nil {
+		energy = m.Table.RefinedEnergy(m.Prof, *m.CacheStats)
+	} else {
+		energy = m.Table.ProgramEnergy(m.Prof)
+	}
+	vdd := p.VDD()
+	energy = m.Table.ScaleVDD(energy, vdd)
+	cycles := float64(m.Prof.Total) * m.Table.CPI
+	if m.CacheStats != nil {
+		// A miss also stalls the pipeline; 10 cycles per miss.
+		cycles += 10 * float64(m.CacheStats.Misses())
+	}
+	seconds := cycles / float64(p.Freq())
+	e := &model.Estimate{VDD: vdd}
+	if seconds > 0 && vdd > 0 {
+		e.AddStatic("EQ 12 program draw", units.Amps(float64(energy)/seconds/float64(vdd)))
+	}
+	e.Delay = units.Seconds(seconds)
+	e.Note("EQ 12: %d instructions, E_T = %s at %s", m.Prof.Total, energy, vdd)
+	return e, nil
+}
+
+// SortEnergy is one row of the Ong/Yan reproduction: algorithm name,
+// instruction count and EQ 12 energy, with and without cache
+// refinement.
+type SortEnergy struct {
+	// Algorithm is the program name.
+	Algorithm string
+	// Instructions is the executed count.
+	Instructions uint64
+	// Energy is the flat EQ 12 energy.
+	Energy units.Joules
+	// RefinedEnergyJ includes cache penalties.
+	RefinedEnergyJ units.Joules
+	// MissRate is the data-cache miss rate observed.
+	MissRate float64
+}
+
+// MeasureSorts runs every built-in sorting program on a copy of data,
+// through a data cache of the given configuration, and prices the runs
+// with the table.  It verifies each program actually sorted its input.
+func MeasureSorts(data []int64, table *EnergyTable, cacheCfg cachesim.Config) ([]SortEnergy, error) {
+	var out []SortEnergy
+	for _, prog := range SortPrograms() {
+		c, err := cachesim.New(cacheCfg)
+		if err != nil {
+			return nil, err
+		}
+		asm, err := Assemble(prog.Src)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", prog.Name, err)
+		}
+		memWords := len(data) + 4096
+		vm := NewVM(asm, memWords)
+		copy(vm.Mem, data)
+		vm.Regs[0] = 0
+		vm.Regs[1] = int64(len(data))
+		vm.Tracer = func(addr uint64, write bool) {
+			c.Access(addr*8, write) // words are 8 bytes
+		}
+		if err := vm.Run(); err != nil {
+			return nil, fmt.Errorf("%s: %w", prog.Name, err)
+		}
+		for i := 1; i < len(data); i++ {
+			if vm.Mem[i-1] > vm.Mem[i] {
+				return nil, fmt.Errorf("%s: output not sorted at %d", prog.Name, i)
+			}
+		}
+		prof := vm.Profile()
+		out = append(out, SortEnergy{
+			Algorithm:      prog.Name,
+			Instructions:   prof.Total,
+			Energy:         table.ProgramEnergy(prof),
+			RefinedEnergyJ: table.RefinedEnergy(prof, c.Stats()),
+			MissRate:       c.Stats().MissRate(),
+		})
+	}
+	return out, nil
+}
+
+var (
+	_ model.Model = (*Datasheet)(nil)
+	_ model.Model = (*InstructionModel)(nil)
+)

@@ -1,0 +1,157 @@
+package proc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"powerplay/internal/cachesim"
+	"powerplay/internal/core/model"
+	"powerplay/internal/units"
+)
+
+func almost(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestDatasheetEQ11(t *testing.T) {
+	cpu := &Datasheet{Name: "arm610", PAvg: 0.5, RatedVDD: 3.3, RatedFreq: 20e6}
+	// α = 1: full data-book power.
+	e, err := model.Evaluate(cpu, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(e.Power()); !almost(got, 0.5) {
+		t.Errorf("P = %v, want 0.5", got)
+	}
+	// α = 0.3 shutdown duty cycle.
+	e, err = model.Evaluate(cpu, model.Params{"act": 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(e.Power()); !almost(got, 0.15) {
+		t.Errorf("P = %v, want 0.15", got)
+	}
+	// Derating: half supply quarters power; half clock halves it.
+	e, _ = model.Evaluate(cpu, model.Params{"vdd": 1.65})
+	if got := float64(e.Power()); !almost(got, 0.125) {
+		t.Errorf("derated P = %v, want 0.125", got)
+	}
+	e, _ = model.Evaluate(cpu, model.Params{"f": 10e6})
+	if got := float64(e.Power()); !almost(got, 0.25) {
+		t.Errorf("freq-derated P = %v, want 0.25", got)
+	}
+}
+
+func TestProgramEnergyEQ12(t *testing.T) {
+	tab := DefaultEnergyTable()
+	var p Profile
+	p.ByClass[ClassALU] = 100
+	p.ByClass[ClassLoad] = 50
+	p.ByClass[ClassMul] = 10
+	p.Total = 160
+	want := 100*0.4e-9 + 50*1.1e-9 + 10*1.6e-9
+	if got := float64(tab.ProgramEnergy(&p)); !almost(got, want) {
+		t.Errorf("E_T = %v, want %v", got, want)
+	}
+}
+
+func TestRefinedEnergyAddsMissPenalties(t *testing.T) {
+	tab := DefaultEnergyTable()
+	var p Profile
+	p.ByClass[ClassLoad] = 100
+	cs := cachesim.Stats{Reads: 100, ReadMisses: 20, Writebacks: 5}
+	flat := float64(tab.ProgramEnergy(&p))
+	ref := float64(tab.RefinedEnergy(&p, cs))
+	want := flat + 20*9e-9 + 5*5e-9
+	if !almost(ref, want) {
+		t.Errorf("refined = %v, want %v", ref, want)
+	}
+	if ref <= flat {
+		t.Error("the paper's point: EQ 12 alone underestimates")
+	}
+}
+
+func TestScaleVDD(t *testing.T) {
+	tab := DefaultEnergyTable()
+	e := units.Joules(1e-6)
+	if got := tab.ScaleVDD(e, 3.3); !almost(float64(got), 1e-6) {
+		t.Error("reference supply should be identity")
+	}
+	if got := tab.ScaleVDD(e, 1.65); !almost(float64(got), 0.25e-6) {
+		t.Errorf("half supply should quarter energy, got %v", got)
+	}
+	if got := tab.ScaleVDD(e, 0); got != e {
+		t.Error("degenerate supply should pass through")
+	}
+}
+
+func TestInstructionModelPower(t *testing.T) {
+	tab := DefaultEnergyTable()
+	var p Profile
+	p.ByClass[ClassALU] = 1000
+	p.Total = 1000
+	m := &InstructionModel{Name: "eq12", Table: tab, Prof: &p}
+	e, err := model.Evaluate(m, model.Params{"f": 20e6, "vdd": 3.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E = 1000·0.4nJ = 400nJ; t = 1000·1.4/20MHz = 70µs; P = 5.714mW.
+	if got := float64(e.Power()); !almost(got, 400e-9/70e-6) {
+		t.Errorf("P = %v, want %v", got, 400e-9/70e-6)
+	}
+	if got := float64(e.Delay); !almost(got, 70e-6) {
+		t.Errorf("runtime = %v", got)
+	}
+	// Cache stats add stall cycles and miss energy.
+	cs := cachesim.Stats{Reads: 100, ReadMisses: 10}
+	mc := &InstructionModel{Name: "eq12c", Table: tab, Prof: &p, CacheStats: &cs}
+	ec, err := model.Evaluate(mc, model.Params{"f": 20e6, "vdd": 3.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(ec.Delay) <= float64(e.Delay) {
+		t.Error("misses should stall the pipeline")
+	}
+	// Missing pieces are configuration errors.
+	if _, err := model.Evaluate(&InstructionModel{Name: "x", Table: tab}, nil); err == nil {
+		t.Error("missing profile should fail")
+	}
+}
+
+func TestMeasureSortsOngYanShape(t *testing.T) {
+	// The paper's ref [15] result: orders of magnitude variance in
+	// energy across sorting algorithms on the same fictitious processor.
+	rng := rand.New(rand.NewSource(42))
+	n := 400
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = int64(rng.Intn(1 << 16))
+	}
+	rows, err := MeasureSorts(data, DefaultEnergyTable(), cachesim.Config{
+		Size: 1 << 12, BlockSize: 32, Assoc: 2, WriteBack: true, WriteAllocate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]SortEnergy{}
+	for _, r := range rows {
+		byName[r.Algorithm] = r
+		if r.Energy <= 0 || r.RefinedEnergyJ < r.Energy {
+			t.Errorf("%s: energies inconsistent: %v %v", r.Algorithm, r.Energy, r.RefinedEnergyJ)
+		}
+	}
+	spread := float64(byName["bubble"].Energy) / float64(byName["quicksort"].Energy)
+	if spread < 10 {
+		t.Errorf("bubble/quicksort energy spread = %.1fx, want ≥ 10x (orders of magnitude)", spread)
+	}
+}
+
+func TestMeasureSortsRejectsBadCache(t *testing.T) {
+	if _, err := MeasureSorts([]int64{3, 1, 2}, DefaultEnergyTable(), cachesim.Config{}); err == nil {
+		t.Error("invalid cache config should fail")
+	}
+}

@@ -1,0 +1,189 @@
+// Package proc implements the paper's programmable-processor power
+// models and the substrate they need.
+//
+// Two abstraction levels are provided, exactly as in the paper:
+//
+//   - EQ 11, the first-order data-sheet model P = α·P_AVG, where α ≤ 1
+//     is the processor's activity factor (1 for a part with no
+//     power-down capability);
+//
+//   - EQ 12, the instruction-level model E_T = Σᵢ Nᵢ·E_inst,ᵢ of Tiwari,
+//     which requires a coded algorithm and a per-instruction energy
+//     characterization, and which Ong and Yan used on a fictitious
+//     processor to show orders-of-magnitude energy variance across
+//     sorting algorithms.
+//
+// To feed EQ 12 with real instruction counts the package includes that
+// fictitious processor: a 16-register load/store ISA, a two-pass
+// assembler, an interpreting VM with a built-in profiler (the role SPIX
+// and Pixie play in the paper), and a memory-trace hook that drives the
+// Dinero-style simulator in package cachesim so cache misses can be
+// priced back into the estimate.
+package proc
+
+import "fmt"
+
+// Op is an instruction opcode.
+type Op int
+
+// Opcodes of the fictitious processor.
+const (
+	OpNop Op = iota
+	OpHalt
+	OpLi   // li  rd, imm      rd ← imm
+	OpMov  // mov rd, ra       rd ← ra
+	OpAdd  // add rd, ra, rb
+	OpSub  // sub rd, ra, rb
+	OpAnd  // and rd, ra, rb
+	OpOr   // or  rd, ra, rb
+	OpXor  // xor rd, ra, rb
+	OpMul  // mul rd, ra, rb
+	OpDiv  // div rd, ra, rb   (traps on zero divisor)
+	OpAddi // addi rd, ra, imm
+	OpShli // shli rd, ra, imm
+	OpShri // shri rd, ra, imm (logical)
+	OpLd   // ld rd, imm(ra)   rd ← mem[ra+imm]
+	OpSt   // st rs, imm(ra)   mem[ra+imm] ← rs
+	OpBeq  // beq ra, rb, label
+	OpBne  // bne ra, rb, label
+	OpBlt  // blt ra, rb, label
+	OpBge  // bge ra, rb, label
+	OpJmp  // jmp label
+	OpCall // call label       push pc+1; pc ← label
+	OpRet  // ret              pc ← pop
+	OpPush // push ra
+	OpPop  // pop rd
+)
+
+// NumRegs is the architectural register count.
+const NumRegs = 16
+
+// Class buckets opcodes for energy characterization: the granularity at
+// which E_inst,ᵢ is measured (Tiwari characterizes per instruction; per
+// class is the usual compromise and is what our table stores).
+type Class int
+
+// Instruction energy classes.
+const (
+	ClassNop Class = iota
+	ClassALU
+	ClassMul
+	ClassDiv
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassJump
+	ClassCallRet
+	ClassStack
+	numClasses
+)
+
+// String names the class for profiles and tables.
+func (c Class) String() string {
+	switch c {
+	case ClassNop:
+		return "nop"
+	case ClassALU:
+		return "alu"
+	case ClassMul:
+		return "mul"
+	case ClassDiv:
+		return "div"
+	case ClassLoad:
+		return "load"
+	case ClassStore:
+		return "store"
+	case ClassBranch:
+		return "branch"
+	case ClassJump:
+		return "jump"
+	case ClassCallRet:
+		return "callret"
+	case ClassStack:
+		return "stack"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// ClassOf maps opcodes to energy classes.
+func ClassOf(op Op) Class {
+	switch op {
+	case OpNop, OpHalt:
+		return ClassNop
+	case OpLi, OpMov, OpAdd, OpSub, OpAnd, OpOr, OpXor, OpAddi, OpShli, OpShri:
+		return ClassALU
+	case OpMul:
+		return ClassMul
+	case OpDiv:
+		return ClassDiv
+	case OpLd:
+		return ClassLoad
+	case OpSt:
+		return ClassStore
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return ClassBranch
+	case OpJmp:
+		return ClassJump
+	case OpCall, OpRet:
+		return ClassCallRet
+	case OpPush, OpPop:
+		return ClassStack
+	}
+	return ClassNop
+}
+
+// opNames maps mnemonic → opcode for the assembler, and back for
+// disassembly.
+var opNames = map[string]Op{
+	"nop": OpNop, "halt": OpHalt, "li": OpLi, "mov": OpMov,
+	"add": OpAdd, "sub": OpSub, "and": OpAnd, "or": OpOr, "xor": OpXor,
+	"mul": OpMul, "div": OpDiv, "addi": OpAddi, "shli": OpShli, "shri": OpShri,
+	"ld": OpLd, "st": OpSt,
+	"beq": OpBeq, "bne": OpBne, "blt": OpBlt, "bge": OpBge,
+	"jmp": OpJmp, "call": OpCall, "ret": OpRet, "push": OpPush, "pop": OpPop,
+}
+
+// Name returns the mnemonic of an opcode.
+func (op Op) Name() string {
+	for n, o := range opNames {
+		if o == op {
+			return n
+		}
+	}
+	return fmt.Sprintf("op%d", int(op))
+}
+
+// Instr is one decoded instruction.  Rd/Ra/Rb are register indices,
+// Imm the immediate or branch/jump target (instruction index).
+type Instr struct {
+	Op         Op
+	Rd, Ra, Rb int
+	Imm        int64
+}
+
+func (i Instr) String() string {
+	switch i.Op {
+	case OpNop, OpHalt, OpRet:
+		return i.Op.Name()
+	case OpLi:
+		return fmt.Sprintf("li r%d, %d", i.Rd, i.Imm)
+	case OpMov:
+		return fmt.Sprintf("mov r%d, r%d", i.Rd, i.Ra)
+	case OpAddi, OpShli, OpShri:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op.Name(), i.Rd, i.Ra, i.Imm)
+	case OpLd:
+		return fmt.Sprintf("ld r%d, %d(r%d)", i.Rd, i.Imm, i.Ra)
+	case OpSt:
+		// Stores keep the value register in Ra and the base in Rb.
+		return fmt.Sprintf("st r%d, %d(r%d)", i.Ra, i.Imm, i.Rb)
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op.Name(), i.Ra, i.Rb, i.Imm)
+	case OpJmp, OpCall:
+		return fmt.Sprintf("%s %d", i.Op.Name(), i.Imm)
+	case OpPush:
+		return fmt.Sprintf("push r%d", i.Ra)
+	case OpPop:
+		return fmt.Sprintf("pop r%d", i.Rd)
+	}
+	return fmt.Sprintf("%s r%d, r%d, r%d", i.Op.Name(), i.Rd, i.Ra, i.Rb)
+}

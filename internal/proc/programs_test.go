@@ -1,0 +1,121 @@
+package proc
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestShellSortCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(120)
+		data := make([]int64, n)
+		for i := range data {
+			data[i] = int64(rng.Intn(4000) - 2000)
+		}
+		_, got, err := RunSort(ShellSortSrc, data)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+			t.Fatalf("n=%d: not sorted: %v", n, got)
+		}
+	}
+}
+
+func TestShellSortComplexityBetweenNeighbours(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := make([]int64, 600)
+	for i := range data {
+		data[i] = int64(rng.Intn(1 << 16))
+	}
+	shell, _, err := RunSort(ShellSortSrc, data)
+	_ = shell
+	if err != nil {
+		t.Fatal(err)
+	}
+	pShell, _, _ := RunSort(ShellSortSrc, data)
+	pBubble, _, _ := RunSort(BubbleSortSrc, data)
+	pQuick, _, _ := RunSort(QuickSortSrc, data)
+	if !(pShell.Total < pBubble.Total && pShell.Total > pQuick.Total) {
+		t.Errorf("instruction counts: bubble %d, shell %d, quick %d",
+			pBubble.Total, pShell.Total, pQuick.Total)
+	}
+}
+
+func TestFIRMatchesGoReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	x := make([]int64, 200)
+	for i := range x {
+		x[i] = int64(rng.Intn(200) - 100)
+	}
+	h := []int64{3, -1, 4, 1, -5}
+	got, prof, err := RunFIR(x, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := len(h) - 1; n < len(x); n++ {
+		var want int64
+		for k := range h {
+			want += h[k] * x[n-k]
+		}
+		if got[n] != want {
+			t.Fatalf("y[%d] = %d, want %d", n, got[n], want)
+		}
+	}
+	// The first taps-1 outputs are not computed.
+	for n := 0; n < len(h)-1; n++ {
+		if got[n] != 0 {
+			t.Errorf("y[%d] should be untouched", n)
+		}
+	}
+	// One multiply per (n, k) pair.
+	wantMuls := uint64((len(x) - len(h) + 1) * len(h))
+	if prof.ByClass[ClassMul] != wantMuls {
+		t.Errorf("muls = %d, want %d", prof.ByClass[ClassMul], wantMuls)
+	}
+}
+
+func TestFIRIsMultiplyHeavy(t *testing.T) {
+	// The DSP point: the FIR kernel spends a far larger energy fraction
+	// in the multiplier class than control-style code (quicksort) does —
+	// the workload contrast EQ 20's multiplier model exists for.
+	x := make([]int64, 400)
+	for i := range x {
+		x[i] = int64(i % 97)
+	}
+	h := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	_, firProf, err := RunFIR(x, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortProf, _, err := RunSort(QuickSortSrc, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := DefaultEnergyTable()
+	mulFrac := func(p *Profile) float64 {
+		mulE := float64(p.ByClass[ClassMul]) * float64(tab.PerClass[ClassMul])
+		return mulE / float64(tab.ProgramEnergy(p))
+	}
+	fir, srt := mulFrac(firProf), mulFrac(sortProf)
+	if fir < 0.15 {
+		t.Errorf("FIR multiply energy fraction = %.2f, want substantial", fir)
+	}
+	if fir < 10*srt {
+		t.Errorf("FIR (%.3f) should be ≫ more multiply-heavy than quicksort (%.3f)", fir, srt)
+	}
+}
+
+func TestSortProgramsIncludesShell(t *testing.T) {
+	names := map[string]bool{}
+	for _, p := range SortPrograms() {
+		names[p.Name] = true
+	}
+	for _, want := range []string{"bubble", "insertion", "shellsort", "quicksort"} {
+		if !names[want] {
+			t.Errorf("missing program %q", want)
+		}
+	}
+}

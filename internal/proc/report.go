@@ -1,0 +1,113 @@
+package proc
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Profiler-style reporting: the role SPIX and Pixie play in the paper
+// ("more detailed information can be obtained by using a coded
+// algorithm and profilers").  Report renders an executed profile the
+// way a profiler dumps it — per-class and per-opcode counts with
+// shares — and Disassemble lists a program with labels resolved, so a
+// user can see exactly what the energy table is pricing.
+
+// Report writes the profile as a profiler listing.  When table is
+// non-nil each class row also shows its EQ 12 energy share.
+func (p *Profile) Report(w io.Writer, table *EnergyTable) {
+	fmt.Fprintf(w, "instructions executed: %d\n", p.Total)
+	fmt.Fprintf(w, "memory reads %d, writes %d, taken branches %d\n",
+		p.MemReads, p.MemWrites, p.TakenBranches)
+	var totalE float64
+	if table != nil {
+		totalE = float64(table.ProgramEnergy(p))
+	}
+	fmt.Fprintf(w, "%-10s %12s %8s", "class", "count", "share")
+	if table != nil {
+		fmt.Fprintf(w, " %12s %8s", "energy", "E-share")
+	}
+	fmt.Fprintln(w)
+	for c := ClassNop; c < numClasses; c++ {
+		n := p.ByClass[c]
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-10s %12d %7.2f%%", c, n, 100*float64(n)/float64(p.Total))
+		if table != nil {
+			e := float64(n) * float64(table.PerClass[c])
+			fmt.Fprintf(w, " %12.4g %7.2f%%", e, 100*e/totalE)
+		}
+		fmt.Fprintln(w)
+	}
+	// Hot opcodes, descending.
+	type opCount struct {
+		op Op
+		n  uint64
+	}
+	var ops []opCount
+	for op, n := range p.ByOp {
+		ops = append(ops, opCount{op, n})
+	}
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].n != ops[j].n {
+			return ops[i].n > ops[j].n
+		}
+		return ops[i].op < ops[j].op
+	})
+	fmt.Fprintln(w, "hot opcodes:")
+	for i, oc := range ops {
+		if i >= 8 {
+			break
+		}
+		fmt.Fprintf(w, "  %-6s %12d\n", oc.op.Name(), oc.n)
+	}
+}
+
+// Disassemble lists the program with instruction indices and label
+// names re-attached.
+func (prog *Program) Disassemble(w io.Writer) {
+	labelAt := make(map[int][]string)
+	for name, idx := range prog.Labels {
+		labelAt[idx] = append(labelAt[idx], name)
+	}
+	for idx := range labelAt {
+		sort.Strings(labelAt[idx])
+	}
+	for i, ins := range prog.Instrs {
+		for _, l := range labelAt[i] {
+			fmt.Fprintf(w, "%s:\n", l)
+		}
+		fmt.Fprintf(w, "%4d    %s\n", i, prog.disasmInstr(ins))
+	}
+	// Labels pointing past the end (e.g. a trailing label).
+	for _, l := range labelAt[len(prog.Instrs)] {
+		fmt.Fprintf(w, "%s:\n", l)
+	}
+}
+
+// disasmInstr renders one instruction, substituting label names for
+// numeric branch targets when one matches.
+func (prog *Program) disasmInstr(ins Instr) string {
+	switch ins.Op {
+	case OpBeq, OpBne, OpBlt, OpBge:
+		if l := prog.labelFor(int(ins.Imm)); l != "" {
+			return fmt.Sprintf("%s r%d, r%d, %s", ins.Op.Name(), ins.Ra, ins.Rb, l)
+		}
+	case OpJmp, OpCall:
+		if l := prog.labelFor(int(ins.Imm)); l != "" {
+			return fmt.Sprintf("%s %s", ins.Op.Name(), l)
+		}
+	}
+	return ins.String()
+}
+
+func (prog *Program) labelFor(idx int) string {
+	best := ""
+	for name, at := range prog.Labels {
+		if at == idx && (best == "" || name < best) {
+			best = name
+		}
+	}
+	return best
+}

@@ -1,0 +1,74 @@
+package proc
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"powerplay/internal/units"
+)
+
+// Energy tables travel as JSON, the same way cell libraries do: a
+// processor characterized at one site prices algorithms at another.
+// The wire format keys energies by class name so files stay readable
+// and robust against class reordering.
+
+type tableJSON struct {
+	RefVDD           float64            `json:"refVdd"`
+	CPI              float64            `json:"cpi"`
+	MissPenalty      float64            `json:"missPenalty"`
+	WritebackPenalty float64            `json:"writebackPenalty"`
+	PerClass         map[string]float64 `json:"perClass"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *EnergyTable) MarshalJSON() ([]byte, error) {
+	out := tableJSON{
+		RefVDD:           float64(t.RefVDD),
+		CPI:              t.CPI,
+		MissPenalty:      float64(t.MissPenalty),
+		WritebackPenalty: float64(t.WritebackPenalty),
+		PerClass:         make(map[string]float64, int(numClasses)),
+	}
+	for c := ClassNop; c < numClasses; c++ {
+		out.PerClass[c.String()] = float64(t.PerClass[c])
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.  Unknown class names are
+// rejected (a typo would silently zero an energy otherwise); missing
+// classes default to zero.
+func (t *EnergyTable) UnmarshalJSON(data []byte) error {
+	var in tableJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("proc: bad energy table JSON: %w", err)
+	}
+	if in.RefVDD <= 0 {
+		return fmt.Errorf("proc: energy table needs a positive refVdd")
+	}
+	if in.CPI <= 0 {
+		return fmt.Errorf("proc: energy table needs a positive cpi")
+	}
+	byName := make(map[string]Class, int(numClasses))
+	for c := ClassNop; c < numClasses; c++ {
+		byName[c.String()] = c
+	}
+	out := EnergyTable{
+		RefVDD:           units.Volts(in.RefVDD),
+		CPI:              in.CPI,
+		MissPenalty:      units.Joules(in.MissPenalty),
+		WritebackPenalty: units.Joules(in.WritebackPenalty),
+	}
+	for name, e := range in.PerClass {
+		c, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("proc: unknown instruction class %q in energy table", name)
+		}
+		if e < 0 {
+			return fmt.Errorf("proc: class %q has negative energy %g", name, e)
+		}
+		out.PerClass[c] = units.Joules(e)
+	}
+	*t = out
+	return nil
+}

@@ -1,0 +1,53 @@
+package proc
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestEnergyTableJSONRoundTrip(t *testing.T) {
+	orig := DefaultEnergyTable()
+	blob, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back EnergyTable
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != *orig {
+		t.Errorf("round trip drifted:\n%+v\nvs\n%+v", back, *orig)
+	}
+	// The wire format uses readable class names.
+	if !strings.Contains(string(blob), `"alu"`) || !strings.Contains(string(blob), `"callret"`) {
+		t.Errorf("wire format: %s", blob)
+	}
+}
+
+func TestEnergyTableJSONValidation(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"refVdd":0,"cpi":1,"perClass":{}}`,
+		`{"refVdd":3.3,"cpi":0,"perClass":{}}`,
+		`{"refVdd":3.3,"cpi":1,"perClass":{"warp":1e-9}}`,
+		`{"refVdd":3.3,"cpi":1,"perClass":{"alu":-1}}`,
+	}
+	for _, src := range cases {
+		var tab EnergyTable
+		if err := json.Unmarshal([]byte(src), &tab); err == nil {
+			t.Errorf("%q should fail", src)
+		}
+	}
+	// Missing classes default to zero and still price programs.
+	var sparse EnergyTable
+	if err := json.Unmarshal([]byte(`{"refVdd":3.3,"cpi":1.2,"perClass":{"alu":1e-9}}`), &sparse); err != nil {
+		t.Fatal(err)
+	}
+	var p Profile
+	p.ByClass[ClassALU] = 10
+	p.ByClass[ClassLoad] = 5
+	if got := float64(sparse.ProgramEnergy(&p)); got != 10e-9 {
+		t.Errorf("sparse table energy = %v", got)
+	}
+}

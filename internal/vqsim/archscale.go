@@ -1,0 +1,121 @@
+package vqsim
+
+import (
+	"fmt"
+
+	"powerplay/internal/core/explore"
+	"powerplay/internal/core/model"
+	"powerplay/internal/core/sheet"
+	"powerplay/internal/library"
+)
+
+// Architecture-driven voltage scaling: the exploration pattern the UCB
+// low-power school built PowerPlay for (Chandrakasan's "Low Power
+// Digital CMOS Design", the paper's ref [5]).  A fixed-throughput task
+// — here a stream of multiply-accumulates — can be implemented as one
+// fast MAC or as N parallel MACs each running at 1/N the rate; the
+// parallel version meets timing at a far lower supply, and since power
+// falls with VDD² while hardware only grows ~N×, the parallel design
+// wins on power even though it "wastes" area.  The sheet + explore
+// machinery reproduces the whole argument in a few dozen lines.
+
+// MACDesign builds a datapath sheet with n parallel 16-bit MAC lanes,
+// each clocked at sampleRate/n.
+func MACDesign(reg *model.Registry, n int, sampleRate float64) (*sheet.Design, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("vqsim: need at least one lane, got %d", n)
+	}
+	d := sheet.NewDesign(fmt.Sprintf("mac_x%d", n), reg)
+	d.Doc = fmt.Sprintf("%d-lane multiply-accumulate datapath at %g samples/s total", n, sampleRate)
+	d.Root.SetGlobalValue("vdd", 1.5, "1.5")
+	d.Root.SetGlobalValue("fs", sampleRate, fmt.Sprintf("%g", sampleRate))
+	if err := d.Root.SetGlobal("f", fmt.Sprintf("fs/%d", n)); err != nil {
+		return nil, err
+	}
+	for lane := 0; lane < n; lane++ {
+		grp, err := d.Root.AddChild(fmt.Sprintf("lane%d", lane), "")
+		if err != nil {
+			return nil, err
+		}
+		mult, err := grp.AddChild("mult", library.ArrayMultiplier)
+		if err != nil {
+			return nil, err
+		}
+		if err := mult.SetParam("bwA", "16"); err != nil {
+			return nil, err
+		}
+		if err := mult.SetParam("bwB", "16"); err != nil {
+			return nil, err
+		}
+		add, err := grp.AddChild("acc_add", library.RippleAdder)
+		if err != nil {
+			return nil, err
+		}
+		if err := add.SetParam("bits", "32"); err != nil {
+			return nil, err
+		}
+		reg32, err := grp.AddChild("acc_reg", library.Register)
+		if err != nil {
+			return nil, err
+		}
+		if err := reg32.SetParam("bits", "32"); err != nil {
+			return nil, err
+		}
+	}
+	// Distributing the stream costs a mux per lane beyond the first.
+	if n > 1 {
+		mux, err := d.Root.AddChild("distribute", library.Mux)
+		if err != nil {
+			return nil, err
+		}
+		if err := mux.SetParam("bits", "16"); err != nil {
+			return nil, err
+		}
+		if err := mux.SetParam("inputs", fmt.Sprintf("%d", n)); err != nil {
+			return nil, err
+		}
+		if err := mux.SetParam("f", "fs"); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// ArchPoint is one architecture's operating point in the study.
+type ArchPoint struct {
+	// Lanes is the parallelism degree.
+	Lanes int
+	// MinVDD is the lowest supply meeting the per-lane clock.
+	MinVDD float64
+	// Power is the design total at MinVDD.
+	Power float64
+	// Area is the design total area.
+	Area float64
+}
+
+// ArchScale runs the study: for each parallelism degree, find the
+// minimum supply at which every module meets the per-lane clock
+// fs/lanes, and report power and area there.
+func ArchScale(reg *model.Registry, sampleRate float64, lanes []int) ([]ArchPoint, error) {
+	var out []ArchPoint
+	for _, n := range lanes {
+		d, err := MACDesign(reg, n, sampleRate)
+		if err != nil {
+			return nil, err
+		}
+		perLane := sampleRate / float64(n)
+		vdd, err := explore.MinSupply(d, perLane, 0.8, 3.3)
+		if err != nil {
+			return nil, fmt.Errorf("vqsim: %d lanes: %w", n, err)
+		}
+		r, err := d.EvaluateAt(map[string]float64{"vdd": vdd})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ArchPoint{
+			Lanes: n, MinVDD: vdd,
+			Power: float64(r.Power), Area: float64(r.Area),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package vqsim
+
+import (
+	"math"
+	"testing"
+
+	"powerplay/internal/library"
+)
+
+func TestMACDesignStructure(t *testing.T) {
+	reg := library.Standard()
+	d, err := MACDesign(reg, 4, 20e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Find("lane3/mult") == nil || r.Find("distribute") == nil {
+		t.Error("rows missing")
+	}
+	// Per-lane frequency is fs/4.
+	if got := r.Find("lane0/mult").Params["f"]; math.Abs(got-5e6) > 1 {
+		t.Errorf("lane clock = %v", got)
+	}
+	// Mux runs at the full sample rate.
+	if got := r.Find("distribute").Params["f"]; math.Abs(got-20e6) > 1 {
+		t.Errorf("mux clock = %v", got)
+	}
+	// Single lane has no distribution mux.
+	d1, err := MACDesign(reg, 1, 20e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := d1.Evaluate()
+	if r1.Find("distribute") != nil {
+		t.Error("single lane should not pay for a mux")
+	}
+	if _, err := MACDesign(reg, 0, 1e6); err == nil {
+		t.Error("zero lanes should fail")
+	}
+}
+
+func TestArchScaleShape(t *testing.T) {
+	// The Chandrakasan result: at fixed throughput, parallelism buys
+	// voltage reduction, and power drops despite the extra hardware —
+	// with diminishing returns as VDD approaches threshold.
+	reg := library.Standard()
+	pts, err := ArchScale(reg, 20e6, []int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].MinVDD >= pts[i-1].MinVDD {
+			t.Errorf("more lanes should allow a lower supply: %+v", pts)
+		}
+		if pts[i].Area <= pts[i-1].Area {
+			t.Errorf("more lanes should cost area: %+v", pts)
+		}
+	}
+	// Two lanes must beat one on power.
+	if pts[1].Power >= pts[0].Power {
+		t.Errorf("parallelism should save power: x1=%v x2=%v", pts[0].Power, pts[1].Power)
+	}
+	// The returns diminish: the relative gain from 4→8 is smaller than
+	// from 1→2.
+	gain12 := pts[0].Power / pts[1].Power
+	gain48 := pts[2].Power / pts[3].Power
+	if gain48 >= gain12 {
+		t.Errorf("returns should diminish: 1→2 %.2fx, 4→8 %.2fx", gain12, gain48)
+	}
+}
+
+func TestArchScaleUnreachable(t *testing.T) {
+	reg := library.Standard()
+	// 10 GHz per lane is beyond the library even at 3.3 V.
+	if _, err := ArchScale(reg, 10e9, []int{1}); err == nil {
+		t.Error("unreachable throughput should fail")
+	}
+}

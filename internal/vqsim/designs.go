@@ -1,0 +1,96 @@
+package vqsim
+
+import (
+	"powerplay/internal/core/model"
+	"powerplay/internal/core/sheet"
+	"powerplay/internal/library"
+)
+
+// The Figure 2 and Figure 3 design sheets, built programmatically the
+// way a user builds them through the browser: pick cells from the
+// library, customize parameters, save rows to the sheet.  Supply
+// voltage and pixel frequency are top-level variables so the whole
+// design re-prices when they change — the rows the paper shows as
+// "Supply V" and "Operating Frequency".
+
+// Luminance1 builds the Figure 1 architecture's sheet ("Luminance_1"):
+// a 4096×6 LUT accessed at the full pixel rate.
+func Luminance1(reg *model.Registry) (*sheet.Design, error) {
+	d := sheet.NewDesign("Luminance_1", reg)
+	d.Doc = "VQ luminance decompression, Figure 1 architecture (one pixel per LUT access)"
+	d.Root.SetGlobalValue("vdd", 1.5, "1.5")
+	d.Root.SetGlobalValue("f", 2e6, "2MHz")
+	rows := []struct {
+		name, model string
+		params      map[string]string
+	}{
+		{"read_bank", library.SRAM, map[string]string{
+			"words": "2048", "bits": "8", "f": "f/16"}},
+		{"write_bank", library.SRAM, map[string]string{
+			"words": "2048", "bits": "8", "f": "f/32"}},
+		{"look_up_table", library.SRAM, map[string]string{
+			"words": "4096", "bits": "6", "f": "f"}},
+		{"output_register", library.Register, map[string]string{
+			"words": "1", "bits": "6", "f": "f"}},
+		{"output_buffer", library.PadBuffer, map[string]string{
+			"bits": "6", "f": "f"}},
+	}
+	if err := addRows(d, rows); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Luminance2 builds the Figure 3 architecture's sheet: the LUT is
+// reorganized 1024×24 so each access yields four pixels, and only one
+// multiplexor and register switch at the full 2 MHz.
+func Luminance2(reg *model.Registry) (*sheet.Design, error) {
+	d := sheet.NewDesign("Luminance_2", reg)
+	d.Doc = "VQ luminance decompression, Figure 3 architecture (four pixels per LUT access)"
+	d.Root.SetGlobalValue("vdd", 1.5, "1.5")
+	d.Root.SetGlobalValue("f", 2e6, "2MHz")
+	rows := []struct {
+		name, model string
+		params      map[string]string
+	}{
+		{"read_bank", library.SRAM, map[string]string{
+			"words": "2048", "bits": "8", "f": "f/16"}},
+		{"write_bank", library.SRAM, map[string]string{
+			"words": "2048", "bits": "8", "f": "f/32"}},
+		{"look_up_table", library.SRAM, map[string]string{
+			"words": "1024", "bits": "24", "f": "f/4"}},
+		{"word_latch", library.Register, map[string]string{
+			"words": "1", "bits": "24", "f": "f/4"}},
+		{"output_mux", library.Mux, map[string]string{
+			"bits": "6", "inputs": "4", "f": "f"}},
+		{"output_register", library.Register, map[string]string{
+			"words": "1", "bits": "6", "f": "f"}},
+		{"output_buffer", library.PadBuffer, map[string]string{
+			"bits": "6", "f": "f"}},
+	}
+	if err := addRows(d, rows); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func addRows(d *sheet.Design, rows []struct {
+	name, model string
+	params      map[string]string
+}) error {
+	for _, row := range rows {
+		n, err := d.Root.AddChild(row.name, row.model)
+		if err != nil {
+			return err
+		}
+		// Bind in a stable order for reproducible sheets.
+		for _, key := range []string{"words", "bits", "inputs", "f"} {
+			if src, ok := row.params[key]; ok {
+				if err := n.SetParam(key, src); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

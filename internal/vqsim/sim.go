@@ -1,0 +1,208 @@
+// Package vqsim is the functional substrate for the paper's design
+// example: the luminance sub-component of a real-time vector-
+// quantization video decompression chip (Figures 1–3).
+//
+// The decoder expands an 8-bit code into 16 6-bit luminance pixels via
+// a look-up table.  Incoming frames are double-buffered with a
+// ping-pong memory pair; the screen refreshes at 60 frames/s while
+// video arrives at 30 frames/s, so every buffered frame is read twice
+// for each time it is written.  With a 256×128 screen this pins the
+// pixel rate f at 2 MHz and the buffer read/write rates at f/16 and
+// f/32 — the activities the Figure 2 spreadsheet prices.
+//
+// Two architectures decode the same stream:
+//
+//   - Architecture 1 (Figure 1): the LUT is organized 4096×6 and
+//     delivers one pixel per access — 16 LUT accesses per code, at the
+//     full pixel rate f.
+//
+//   - Architecture 2 (Figure 3): the LUT is organized 1024×24 and
+//     delivers four pixels per access, exploiting the locality of
+//     vector quantization; a word latch holds the 24-bit word and a
+//     4:1 multiplexor plus the output register are the only elements
+//     switching at f.
+//
+// The simulator executes both dataflows, counts every unit's accesses
+// (the activity numbers the power models consume), and lets the tests
+// prove the two architectures are pixel-exact equivalents.
+package vqsim
+
+import (
+	"fmt"
+)
+
+// Screen geometry and rates from the paper.
+const (
+	// ScreenW and ScreenH are the display size in pixels.
+	ScreenW, ScreenH = 256, 128
+	// PixelsPerCode is the vector (block) size of the quantizer.
+	PixelsPerCode = 16
+	// CodesPerFrame is the compressed frame size in 8-bit codes.
+	CodesPerFrame = ScreenW * ScreenH / PixelsPerCode
+	// RefreshHz is the display rate; VideoHz the incoming video rate.
+	RefreshHz, VideoHz = 60, 30
+	// PixelRateHz is the minimum pixel frequency f: W·H·Refresh.
+	PixelRateHz = ScreenW * ScreenH * RefreshHz // 1.966e6, "2 MHz" in the paper
+	// PixelBits is the luminance depth.
+	PixelBits = 6
+	// CodeBits is the compressed symbol width.
+	CodeBits = 8
+)
+
+// Codebook is the 256-entry × 16-pixel luminance table shared by both
+// architectures.
+type Codebook struct {
+	entries [256][PixelsPerCode]uint8
+}
+
+// NewCodebook builds a deterministic synthetic codebook: entry e, pixel
+// i holds a 6-bit ramp/dither pattern.  A real chip would train this
+// offline (Gersho & Gray); any fixed contents exercise the same
+// dataflow.
+func NewCodebook() *Codebook {
+	cb := &Codebook{}
+	for e := 0; e < 256; e++ {
+		for i := 0; i < PixelsPerCode; i++ {
+			cb.entries[e][i] = uint8((e*5 + i*11 + (e>>3)*i) % 64)
+		}
+	}
+	return cb
+}
+
+// Pixel returns pixel i (0..15) of entry e.
+func (cb *Codebook) Pixel(e uint8, i int) uint8 { return cb.entries[e][i] }
+
+// Word returns the packed 4-pixel group g (0..3) of entry e as the
+// architecture-2 LUT stores it: 4 × 6 bits in a 24-bit word.
+func (cb *Codebook) Word(e uint8, g int) uint32 {
+	var w uint32
+	for k := 0; k < 4; k++ {
+		w |= uint32(cb.entries[e][g*4+k]&0x3F) << (6 * k)
+	}
+	return w
+}
+
+// Counts tallies unit activities during a simulation: the numbers that
+// become the frequency column of the Figure 2 sheet.
+type Counts struct {
+	// BankReads and BankWrites are ping-pong buffer accesses.
+	BankReads, BankWrites uint64
+	// LUTReads are look-up table accesses.
+	LUTReads uint64
+	// LatchLoads are architecture-2 word-latch loads.
+	LatchLoads uint64
+	// MuxSelects are architecture-2 output mux switches.
+	MuxSelects uint64
+	// RegLoads are output register loads (one per pixel).
+	RegLoads uint64
+	// Pixels is the number of pixels produced.
+	Pixels uint64
+}
+
+// Rate converts an access count into the unit's frequency given the
+// pixel clock: rate = f · count / pixels.
+func (c Counts) Rate(count uint64, pixelHz float64) float64 {
+	if c.Pixels == 0 {
+		return 0
+	}
+	return pixelHz * float64(count) / float64(c.Pixels)
+}
+
+// Decoder simulates the ping-pong double-buffered decompressor for one
+// architecture.
+type Decoder struct {
+	cb    *Codebook
+	banks [2][]uint8
+	// readBank indexes the bank being displayed; 1-readBank receives
+	// the incoming stream.
+	readBank int
+	counts   Counts
+	wide     bool // architecture 2 (4-pixel LUT words)
+}
+
+// NewDecoder builds a decoder; wide selects architecture 2.
+func NewDecoder(cb *Codebook, wide bool) *Decoder {
+	d := &Decoder{cb: cb, wide: wide}
+	d.banks[0] = make([]uint8, CodesPerFrame)
+	d.banks[1] = make([]uint8, CodesPerFrame)
+	return d
+}
+
+// Counts returns the accumulated activity tallies.
+func (d *Decoder) Counts() Counts { return d.counts }
+
+// WriteFrame stores an incoming compressed frame into the write bank —
+// the 30 Hz side of the ping-pong.
+func (d *Decoder) WriteFrame(codes []uint8) error {
+	if len(codes) != CodesPerFrame {
+		return fmt.Errorf("vqsim: frame has %d codes, want %d", len(codes), CodesPerFrame)
+	}
+	w := d.banks[1-d.readBank]
+	copy(w, codes)
+	d.counts.BankWrites += uint64(len(codes))
+	return nil
+}
+
+// SwapBanks reverses the read/write roles — once per incoming frame.
+func (d *Decoder) SwapBanks() { d.readBank = 1 - d.readBank }
+
+// DisplayFrame decodes the read bank once (one 60 Hz refresh) and
+// returns the pixel stream in display order.
+func (d *Decoder) DisplayFrame() []uint8 {
+	out := make([]uint8, 0, CodesPerFrame*PixelsPerCode)
+	bank := d.banks[d.readBank]
+	for _, code := range bank {
+		d.counts.BankReads++
+		if d.wide {
+			out = d.decodeWide(code, out)
+		} else {
+			out = d.decodeNarrow(code, out)
+		}
+	}
+	d.counts.Pixels += uint64(CodesPerFrame * PixelsPerCode)
+	return out
+}
+
+// decodeNarrow is architecture 1: one 6-bit LUT access per pixel.
+func (d *Decoder) decodeNarrow(code uint8, out []uint8) []uint8 {
+	for i := 0; i < PixelsPerCode; i++ {
+		d.counts.LUTReads++
+		px := d.cb.Pixel(code, i)
+		d.counts.RegLoads++
+		out = append(out, px)
+	}
+	return out
+}
+
+// decodeWide is architecture 2: one 24-bit LUT access per 4 pixels,
+// then the latch + 4:1 mux deliver pixels at the full rate.
+func (d *Decoder) decodeWide(code uint8, out []uint8) []uint8 {
+	for g := 0; g < PixelsPerCode/4; g++ {
+		d.counts.LUTReads++
+		word := d.cb.Word(code, g)
+		d.counts.LatchLoads++
+		for k := 0; k < 4; k++ {
+			d.counts.MuxSelects++
+			px := uint8(word >> (6 * k) & 0x3F)
+			d.counts.RegLoads++
+			out = append(out, px)
+		}
+	}
+	return out
+}
+
+// RunFrames drives the full ping-pong protocol: each incoming frame is
+// written once and displayed twice (60 Hz refresh of 30 Hz video).  It
+// returns the concatenated pixel output.
+func (d *Decoder) RunFrames(frames [][]uint8) ([]uint8, error) {
+	var out []uint8
+	for _, codes := range frames {
+		if err := d.WriteFrame(codes); err != nil {
+			return nil, err
+		}
+		d.SwapBanks()
+		out = append(out, d.DisplayFrame()...)
+		out = append(out, d.DisplayFrame()...)
+	}
+	return out, nil
+}

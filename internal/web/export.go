@@ -1,0 +1,116 @@
+package web
+
+import (
+	"encoding/csv"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"powerplay/internal/core/sheet"
+	"powerplay/internal/units"
+)
+
+// Design import/export: sheets travel as the same JSON the server
+// persists, so a design built at one site (or by the ppcli tool) drops
+// into another user's account — the design re-use the paper's shared
+// libraries enable.  CSV export feeds external spreadsheet tools, the
+// 1996 equivalent of "download as Excel".
+
+func (s *Server) handleDesignExport(w http.ResponseWriter, r *http.Request, u *User) {
+	d, ok := s.design(u, r.PathValue("name"))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	s.mu.RLock()
+	blob, err := d.MarshalJSON()
+	s.mu.RUnlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", d.Name+".json"))
+	_, _ = w.Write(blob)
+}
+
+func (s *Server) handleDesignImport(w http.ResponseWriter, r *http.Request, u *User) {
+	blob := []byte(r.FormValue("design"))
+	if len(blob) == 0 {
+		http.Error(w, "powerplay: empty design payload", http.StatusBadRequest)
+		return
+	}
+	d, err := sheet.ParseDesign(blob, s.registry)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if name := strings.TrimSpace(r.FormValue("name")); name != "" {
+		d.Name = name
+		d.Root.Name = name
+	}
+	if !validUserName(d.Name) {
+		http.Error(w, fmt.Sprintf("powerplay: design name %q not addressable", d.Name), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	_, exists := u.Designs[d.Name]
+	if !exists {
+		u.Designs[d.Name] = d
+	}
+	s.mu.Unlock()
+	if exists {
+		http.Error(w, fmt.Sprintf("powerplay: design %q already exists", d.Name), http.StatusConflict)
+		return
+	}
+	if err := s.saveUser(u); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	http.Redirect(w, r, "/design/"+d.Name, http.StatusSeeOther)
+}
+
+func (s *Server) handleDesignCSV(w http.ResponseWriter, r *http.Request, u *User) {
+	d, ok := s.design(u, r.PathValue("name"))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	s.mu.RLock()
+	res, err := d.Evaluate()
+	s.mu.RUnlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", d.Name+".csv"))
+	cw := csv.NewWriter(w)
+	_ = cw.Write([]string{"path", "model", "parameters", "energy_per_op_J", "power_W", "area_m2", "delay_s"})
+	var walk func(*sheet.Result)
+	walk = func(rr *sheet.Result) {
+		if rr.Node.Parent() != nil || rr.Node.Model != "" {
+			var params []string
+			for _, b := range rr.Node.Params {
+				params = append(params, b.Name+"="+b.Expr.Source())
+			}
+			_ = cw.Write([]string{
+				rr.Node.Path(), rr.Node.Model, strings.Join(params, " "),
+				units.Sci(float64(rr.EnergyPerOp), ""),
+				units.Sci(float64(rr.Power), ""),
+				units.Sci(float64(rr.Area), ""),
+				units.Sci(float64(rr.Delay), ""),
+			})
+		}
+		for _, c := range rr.Children {
+			walk(c)
+		}
+	}
+	walk(res)
+	_ = cw.Write([]string{"TOTAL", "", "",
+		"", units.Sci(float64(res.Power), ""),
+		units.Sci(float64(res.Area), ""), units.Sci(float64(res.Delay), "")})
+	cw.Flush()
+}

@@ -1,0 +1,132 @@
+package web
+
+import (
+	"math"
+	"net/url"
+	"strings"
+	"testing"
+
+	"powerplay/internal/library"
+)
+
+// TestFullJourney strings the paper's entire workflow together in one
+// session: identify → browse the library → configure cells with
+// instant feedback → save them into a sheet reproducing Figure 2 →
+// Play → introduce derived variables → explore voltage → read the
+// analysis page → export the design → serve the site's models to a
+// second site that re-prices a row remotely.
+func TestFullJourney(t *testing.T) {
+	_, ts, c := site(t, Config{SiteName: "Berkeley", DataDir: t.TempDir()})
+
+	// 1. Identify (browsers do not supply user names).
+	loginAs(t, ts, c, "lidsky", "")
+
+	// 2. Browse the library.
+	code, body := fetch(t, c, ts.URL+"/library")
+	if code != 200 || !strings.Contains(body, library.SRAM) {
+		t.Fatalf("library: %d", code)
+	}
+
+	// 3. Configure the LUT on its form; feedback is instantaneous.
+	code, body = post(t, c, ts.URL+"/cell/"+library.SRAM, url.Values{
+		"p_words": {"4096"}, "p_bits": {"6"}, "p_vdd": {"1.5"}, "p_f": {"2MHz"},
+		"action": {"Calculate"},
+	})
+	if code != 200 || !strings.Contains(body, "684uW") {
+		t.Fatalf("instant feedback: %d %s", code, grep(body, "uW"))
+	}
+
+	// 4. Build the Figure 2 sheet row by row through the save action.
+	rows := []struct {
+		cell string
+		form url.Values
+		name string
+	}{
+		{library.SRAM, url.Values{"p_words": {"2048"}, "p_bits": {"8"}, "p_f": {"125kHz"}}, "read_bank"},
+		{library.SRAM, url.Values{"p_words": {"2048"}, "p_bits": {"8"}, "p_f": {"62.5kHz"}}, "write_bank"},
+		{library.SRAM, url.Values{"p_words": {"4096"}, "p_bits": {"6"}, "p_f": {"2MHz"}}, "look_up_table"},
+		{library.Register, url.Values{"p_words": {"1"}, "p_bits": {"6"}, "p_f": {"2MHz"}}, "output_register"},
+		{library.PadBuffer, url.Values{"p_bits": {"6"}, "p_f": {"2MHz"}}, "output_buffer"},
+	}
+	for _, row := range rows {
+		form := url.Values{"action": {"Add to design"}, "design": {"Luminance_1"}, "row": {row.name}}
+		for k, v := range row.form {
+			form[k] = v
+		}
+		form.Set("p_vdd", "1.5")
+		code, body := post(t, c, ts.URL+"/cell/"+row.cell, form)
+		if code != 200 {
+			t.Fatalf("add %s: %d %s", row.name, code, grep(body, "err"))
+		}
+	}
+
+	// 5. Play: the sheet total lands on the Figure 2 number.
+	code, body = fetch(t, c, ts.URL+"/design/Luminance_1")
+	if code != 200 {
+		t.Fatalf("sheet: %d", code)
+	}
+	total := totalWatts(t, body)
+	if math.Abs(total-739e-6)/739e-6 > 0.01 {
+		t.Fatalf("journey total = %v, want ≈739uW", total)
+	}
+
+	// 6. Introduce derived variables and rebind the read bank.  The
+	// auto-created sheet defaulted f to 1 MHz; set the pixel clock
+	// first, exactly as the top rows of Figure 2 do.
+	code, _ = post(t, c, ts.URL+"/design/Luminance_1/rows", url.Values{
+		"action": {"SetVar"}, "var": {"f"}, "expr": {"2MHz"},
+	})
+	if code != 200 {
+		t.Fatalf("setvar f: %d", code)
+	}
+	code, _ = post(t, c, ts.URL+"/design/Luminance_1/rows", url.Values{
+		"action": {"SetVar"}, "var": {"fread"}, "expr": {"f/16"},
+	})
+	if code != 200 {
+		t.Fatalf("setvar: %d", code)
+	}
+	code, body = post(t, c, ts.URL+"/design/Luminance_1/play", url.Values{
+		"row_read_bank|f": {"fread"},
+	})
+	if code != 200 {
+		t.Fatalf("rebind play: %d", code)
+	}
+	if math.Abs(totalWatts(t, body)-total)/total > 0.01 {
+		t.Fatal("rebinding to the derived variable should not change the total")
+	}
+
+	// 7. Voltage exploration from the sweep page.
+	code, body = fetch(t, c, ts.URL+"/design/Luminance_1/sweep?var=vdd&from=1.5&to=3.0&steps=2")
+	if code != 200 || strings.Count(body, "<tr>") != 3 {
+		t.Fatalf("sweep: %d", code)
+	}
+
+	// 8. The analysis page names the LUT as the point of diminishing
+	// returns.
+	code, body = fetch(t, c, ts.URL+"/design/Luminance_1/analysis")
+	if code != 200 || !strings.Contains(body, "<b>look_up_table</b>") {
+		t.Fatalf("analysis: %d", code)
+	}
+
+	// 9. Export the design and check the JSON carries the expression.
+	code, blob := fetch(t, c, ts.URL+"/design/Luminance_1/export")
+	if code != 200 || !strings.Contains(blob, "fread") {
+		t.Fatalf("export: %d", code)
+	}
+
+	// 10. A second site mounts this site's library and re-prices the
+	// LUT remotely: identical answer.
+	remoteReg := library.Standard()
+	if _, err := Mount(remoteReg, &Remote{BaseURL: ts.URL}, "berkeley"); err != nil {
+		t.Fatal(err)
+	}
+	est, err := remoteReg.Evaluate("berkeley."+library.SRAM, map[string]float64{
+		"words": 4096, "bits": 6, "vdd": 1.5, "f": 2e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(est.Power())-684e-6) > 1e-6 {
+		t.Fatalf("remote LUT = %v", est.Power())
+	}
+}

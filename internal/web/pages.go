@@ -1,0 +1,372 @@
+package web
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"powerplay/internal/core/model"
+	"powerplay/internal/core/sheet"
+	"powerplay/internal/units"
+)
+
+// base carries the fields every page shares.
+type base struct {
+	Site  string
+	Title string
+	Error string
+}
+
+func (s *Server) base(title string) base {
+	return base{Site: s.cfg.SiteName, Title: title}
+}
+
+func (s *Server) render(w http.ResponseWriter, name string, data any) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := pageTmpl.ExecuteTemplate(w, name, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// ----- login / menu -----
+
+type loginPage struct {
+	base
+	NeedPassword bool
+}
+
+func (s *Server) handleFront(w http.ResponseWriter, r *http.Request) {
+	if s.currentUser(r) != nil {
+		http.Redirect(w, r, "/menu", http.StatusSeeOther)
+		return
+	}
+	s.render(w, "login", loginPage{base: s.base("User Identification"), NeedPassword: s.cfg.Password != ""})
+}
+
+func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
+	fail := func(msg string) {
+		p := loginPage{base: s.base("User Identification"), NeedPassword: s.cfg.Password != ""}
+		p.Error = msg
+		w.WriteHeader(http.StatusForbidden)
+		s.render(w, "login", p)
+	}
+	if s.cfg.Password != "" && r.FormValue("password") != s.cfg.Password {
+		fail("wrong site password")
+		return
+	}
+	token, err := s.login(r.FormValue("user"))
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+	http.SetCookie(w, &http.Cookie{Name: sessionCookie, Value: token, Path: "/", HttpOnly: true})
+	http.Redirect(w, r, "/menu", http.StatusSeeOther)
+}
+
+func (s *Server) handleLogout(w http.ResponseWriter, r *http.Request) {
+	if c, err := r.Cookie(sessionCookie); err == nil {
+		s.mu.Lock()
+		delete(s.sessions, c.Value)
+		s.mu.Unlock()
+	}
+	http.SetCookie(w, &http.Cookie{Name: sessionCookie, Value: "", Path: "/", MaxAge: -1})
+	http.Redirect(w, r, "/", http.StatusSeeOther)
+}
+
+type menuPage struct {
+	base
+	User        string
+	DesignCount int
+}
+
+func (s *Server) handleMenu(w http.ResponseWriter, r *http.Request, u *User) {
+	s.mu.RLock()
+	n := len(u.Designs)
+	s.mu.RUnlock()
+	s.render(w, "menu", menuPage{base: s.base("Main Menu"), User: u.Name, DesignCount: n})
+}
+
+// ----- library -----
+
+type libraryPage struct {
+	base
+	Groups []libraryGroup
+}
+
+type libraryGroup struct {
+	Class string
+	Cells []libraryCell
+}
+
+type libraryCell struct{ Name, Title string }
+
+// titleCase upper-cases the first letter of an ASCII class name.
+func titleCase(s string) string {
+	if s == "" {
+		return s
+	}
+	if c := s[0]; c >= 'a' && c <= 'z' {
+		return string(c-'a'+'A') + s[1:]
+	}
+	return s
+}
+
+func (s *Server) handleLibrary(w http.ResponseWriter, r *http.Request, u *User) {
+	page := libraryPage{base: s.base("Library Elements")}
+	classes := []model.Class{
+		model.Computation, model.Storage, model.Controller, model.Interconnect,
+		model.Processor, model.Analog, model.Converter, model.Commodity, model.Macro,
+	}
+	for _, c := range classes {
+		g := libraryGroup{Class: titleCase(string(c))}
+		for _, name := range s.registry.ByClass(c) {
+			m, _ := s.registry.Lookup(name)
+			g.Cells = append(g.Cells, libraryCell{Name: name, Title: m.Info().Title})
+		}
+		if len(g.Cells) > 0 {
+			page.Groups = append(page.Groups, g)
+		}
+	}
+	s.render(w, "library", page)
+}
+
+// ----- cell form (Figure 4) -----
+
+type cellPage struct {
+	base
+	Name   string
+	Doc    string
+	Params []cellParam
+	Design string
+	Row    string
+	Result *cellResult
+}
+
+type cellParam struct {
+	Name, Unit, Doc, Value string
+	Options                []model.Option
+}
+
+type cellResult struct {
+	Power, Energy, Cap, Area, Delay string
+	Notes                           []string
+}
+
+func (s *Server) cellPage(u *User, name string) (*cellPage, model.Model, bool) {
+	m, ok := s.registry.Lookup(name)
+	if !ok {
+		return nil, nil, false
+	}
+	info := m.Info()
+	page := &cellPage{base: s.base(info.Title), Name: name, Doc: info.Doc, Design: "", Row: ""}
+	s.mu.RLock()
+	defaults := u.Defaults[name]
+	s.mu.RUnlock()
+	for _, p := range info.Params {
+		v := p.Default
+		if dv, ok := defaults[p.Name]; ok {
+			v = dv
+		}
+		page.Params = append(page.Params, cellParam{
+			Name: p.Name, Unit: p.Unit, Doc: p.Doc,
+			// Engineering notation ("2M", "253f") round-trips through
+			// units.Parse and avoids HTML-escaping surprises with "e+".
+			Value:   units.Format(v, ""),
+			Options: p.Options,
+		})
+	}
+	return page, m, true
+}
+
+func (s *Server) handleCellForm(w http.ResponseWriter, r *http.Request, u *User) {
+	page, _, ok := s.cellPage(u, r.PathValue("name"))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	s.render(w, "cell", page)
+}
+
+// handleCellEval is the instant-feedback loop of Figure 4: parse the
+// form, evaluate, remember the user's values as new defaults, and
+// either display the result or save the configured element to a design.
+func (s *Server) handleCellEval(w http.ResponseWriter, r *http.Request, u *User) {
+	name := r.PathValue("name")
+	page, m, ok := s.cellPage(u, name)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	params := make(model.Params)
+	srcs := make(map[string]string)
+	var parseErr error
+	for _, p := range m.Info().Params {
+		raw := strings.TrimSpace(r.FormValue("p_" + p.Name))
+		if raw == "" {
+			continue
+		}
+		v, err := units.Parse(raw)
+		if err != nil {
+			parseErr = fmt.Errorf("parameter %s: %v", p.Name, err)
+			break
+		}
+		params[p.Name] = v
+		srcs[p.Name] = raw
+	}
+	// Refresh displayed values with what the user typed.
+	for i := range page.Params {
+		if src, ok := srcs[page.Params[i].Name]; ok {
+			page.Params[i].Value = src
+		}
+	}
+	if parseErr != nil {
+		page.Error = parseErr.Error()
+		w.WriteHeader(http.StatusBadRequest)
+		s.render(w, "cell", page)
+		return
+	}
+	est, err := model.Evaluate(m, params)
+	if err != nil {
+		page.Error = err.Error()
+		w.WriteHeader(http.StatusBadRequest)
+		s.render(w, "cell", page)
+		return
+	}
+	// Update the user's defaults for this model.
+	s.mu.Lock()
+	if u.Defaults[name] == nil {
+		u.Defaults[name] = make(map[string]float64)
+	}
+	for k, v := range params {
+		u.Defaults[name][k] = v
+	}
+	s.mu.Unlock()
+	if err := s.saveUser(u); err != nil {
+		page.Error = "saving defaults: " + err.Error()
+	}
+
+	if r.FormValue("action") == "Add to design" {
+		s.addCellToDesign(w, r, u, name, srcs, page)
+		return
+	}
+	page.Result = &cellResult{
+		Power:  est.Power().String(),
+		Energy: est.EnergyPerOp().String(),
+		Cap:    est.SwitchedCap().String(),
+		Area:   est.Area.String(),
+		Delay:  est.Delay.String(),
+		Notes:  est.Notes,
+	}
+	s.render(w, "cell", page)
+}
+
+func (s *Server) addCellToDesign(w http.ResponseWriter, r *http.Request, u *User,
+	modelName string, srcs map[string]string, page *cellPage) {
+	designName := strings.TrimSpace(r.FormValue("design"))
+	rowName := strings.TrimSpace(r.FormValue("row"))
+	page.Design, page.Row = designName, rowName
+	s.mu.Lock()
+	d, ok := u.Designs[designName]
+	if !ok && designName != "" {
+		// Create on first save, like the original tool.
+		d = sheet.NewDesign(designName, s.registry)
+		d.Root.SetGlobalValue("vdd", 1.5, "1.5")
+		d.Root.SetGlobalValue("f", 1e6, "1MHz")
+		u.Designs[designName] = d
+		ok = true
+	}
+	var addErr error
+	if !ok {
+		addErr = fmt.Errorf("no design named %q", designName)
+	} else {
+		var n *sheet.Node
+		n, addErr = d.Root.AddChild(rowName, modelName)
+		if addErr == nil {
+			for _, p := range pageParamOrder(page) {
+				if src, has := srcs[p]; has {
+					if err := n.SetParam(p, src); err != nil {
+						addErr = err
+						break
+					}
+				}
+			}
+		}
+	}
+	s.mu.Unlock()
+	if addErr != nil {
+		page.Error = addErr.Error()
+		w.WriteHeader(http.StatusBadRequest)
+		s.render(w, "cell", page)
+		return
+	}
+	if err := s.saveUser(u); err != nil {
+		page.Error = "saving design: " + err.Error()
+		s.render(w, "cell", page)
+		return
+	}
+	http.Redirect(w, r, "/design/"+designName, http.StatusSeeOther)
+}
+
+func pageParamOrder(page *cellPage) []string {
+	names := make([]string, len(page.Params))
+	for i, p := range page.Params {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// ----- designs -----
+
+type designsPage struct {
+	base
+	Designs []designEntry
+}
+
+type designEntry struct {
+	Name string
+	Rows int
+}
+
+func (s *Server) handleDesigns(w http.ResponseWriter, r *http.Request, u *User) {
+	page := designsPage{base: s.base("Design Spreadsheets")}
+	s.mu.RLock()
+	for name, d := range u.Designs {
+		rows := 0
+		d.Root.Walk(func(*sheet.Node) { rows++ })
+		page.Designs = append(page.Designs, designEntry{Name: name, Rows: rows - 1})
+	}
+	s.mu.RUnlock()
+	sort.Slice(page.Designs, func(i, j int) bool { return page.Designs[i].Name < page.Designs[j].Name })
+	s.render(w, "designs", page)
+}
+
+func (s *Server) handleDesignCreate(w http.ResponseWriter, r *http.Request, u *User) {
+	name := strings.TrimSpace(r.FormValue("name"))
+	s.mu.Lock()
+	var err error
+	switch {
+	case !validUserName(name):
+		err = fmt.Errorf("invalid design name %q", name)
+	case u.Designs[name] != nil:
+		err = fmt.Errorf("design %q already exists", name)
+	default:
+		d := sheet.NewDesign(name, s.registry)
+		d.Root.SetGlobalValue("vdd", 1.5, "1.5")
+		d.Root.SetGlobalValue("f", 1e6, "1MHz")
+		u.Designs[name] = d
+	}
+	s.mu.Unlock()
+	if err != nil {
+		page := designsPage{base: s.base("Design Spreadsheets")}
+		page.Error = err.Error()
+		w.WriteHeader(http.StatusBadRequest)
+		s.render(w, "designs", page)
+		return
+	}
+	if err := s.saveUser(u); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	http.Redirect(w, r, "/design/"+name, http.StatusSeeOther)
+}

@@ -1,0 +1,154 @@
+package web
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"powerplay/internal/core/model"
+	"powerplay/internal/library"
+)
+
+// Property: for arbitrary valid parameter points, a mounted remote
+// model and the local model agree exactly — the Figure 6-7 protocol
+// loses nothing.
+func TestQuickRemoteEquivalence(t *testing.T) {
+	srv, err := NewServer(Config{}, library.Standard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	local := library.Standard()
+	if _, err := Mount(local, &Remote{BaseURL: ts.URL}, "r"); err != nil {
+		t.Fatal(err)
+	}
+	cells := []struct {
+		name   string
+		params func(a, b uint8) model.Params
+	}{
+		{library.SRAM, func(a, b uint8) model.Params {
+			return model.Params{
+				"words": float64(int(a)%4000 + 1), "bits": float64(int(b)%64 + 1),
+				"vdd": 1.0 + float64(a%20)/10, "f": 1e5 + float64(b)*1e4,
+			}
+		}},
+		{library.ArrayMultiplier, func(a, b uint8) model.Params {
+			return model.Params{
+				"bwA": float64(a%32 + 1), "bwB": float64(b%32 + 1),
+				"corr": float64(a % 2), "vdd": 1.5, "f": 2e6,
+			}
+		}},
+		{library.DCDC, func(a, b uint8) model.Params {
+			return model.Params{
+				"pload": float64(a), "eta": 0.2 + float64(b%80)/100, "vdd": 5,
+			}
+		}},
+	}
+	f := func(pick, a, b uint8) bool {
+		c := cells[int(pick)%len(cells)]
+		p := c.params(a, b)
+		localEst, err1 := local.Evaluate("r."+c.name, p.Clone())
+		directEst, err2 := library.Standard().Evaluate(c.name, p.Clone())
+		if (err1 == nil) != (err2 == nil) {
+			t.Logf("error mismatch for %s %v: %v vs %v", c.name, p, err1, err2)
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		lp, dp := float64(localEst.Power()), float64(directEst.Power())
+		if lp != dp {
+			// JSON carries float64 exactly; require equality.
+			t.Logf("%s %v: %v vs %v", c.name, p, lp, dp)
+			return false
+		}
+		return float64(localEst.Area) == float64(directEst.Area) &&
+			float64(localEst.Delay) == float64(directEst.Delay)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Concurrent sessions: parallel users editing their own designs must
+// not interfere (the server holds per-site state under one mutex).
+func TestConcurrentSessions(t *testing.T) {
+	_, ts, _ := site(t, Config{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := newClient()
+			user := fmt.Sprintf("user%d", i)
+			if _, err := c.PostForm(ts.URL+"/login", url.Values{"user": {user}}); err != nil {
+				errs <- err
+				return
+			}
+			design := fmt.Sprintf("d%d", i)
+			if _, err := c.PostForm(ts.URL+"/designs", url.Values{"name": {design}}); err != nil {
+				errs <- err
+				return
+			}
+			for j := 0; j < 5; j++ {
+				row := fmt.Sprintf("row%d", j)
+				resp, err := c.PostForm(ts.URL+"/cell/"+library.RippleAdder, url.Values{
+					"p_bits": {fmt.Sprintf("%d", 4+j)},
+					"action": {"Add to design"}, "design": {design}, "row": {row},
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+			}
+			resp, err := c.Get(ts.URL + "/design/" + design)
+			if err != nil {
+				errs <- err
+				return
+			}
+			raw, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				errs <- err
+				return
+			}
+			body := string(raw)
+			for j := 0; j < 5; j++ {
+				if !strings.Contains(body, fmt.Sprintf("row%d", j)) {
+					errs <- fmt.Errorf("%s missing row%d", user, j)
+					return
+				}
+			}
+			// No crosstalk: other users' designs are invisible.
+			other, err := c.Get(ts.URL + "/design/d" + fmt.Sprint((i+1)%8))
+			if err != nil {
+				errs <- err
+				return
+			}
+			other.Body.Close()
+			if other.StatusCode != 404 {
+				errs <- fmt.Errorf("%s can see another user's design: %d", user, other.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func newClient() *http.Client {
+	jar, _ := cookiejar.New(nil)
+	return &http.Client{Jar: jar}
+}

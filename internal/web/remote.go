@@ -1,0 +1,200 @@
+package web
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"powerplay/internal/core/model"
+	"powerplay/internal/units"
+)
+
+// Remote is the client end of the Figure 6-7 protocol: it speaks to
+// another PowerPlay site's /api endpoints, so "if a library is
+// characterized and put on the web in Massachusetts, it can be used for
+// estimates in California".
+type Remote struct {
+	// BaseURL is the remote site root ("http://infopad.eecs.berkeley.edu").
+	BaseURL string
+	// Key authenticates against a password-restricted site.
+	Key string
+	// Client is the HTTP client; nil uses a 10 s-timeout default.
+	Client *http.Client
+}
+
+func (rc *Remote) client() *http.Client {
+	if rc.Client != nil {
+		return rc.Client
+	}
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+func (rc *Remote) get(path string, out any) error {
+	req, err := http.NewRequest(http.MethodGet, rc.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	if rc.Key != "" {
+		req.Header.Set("X-PowerPlay-Key", rc.Key)
+	}
+	resp, err := rc.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("remote %s: %w", rc.BaseURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("remote %s%s: %s: %s", rc.BaseURL, path, resp.Status, body)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Models lists the remote site's library.
+func (rc *Remote) Models() ([]ModelSummary, error) {
+	var out []ModelSummary
+	if err := rc.get("/api/models", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Info fetches one remote model's descriptor.
+func (rc *Remote) Info(name string) (*ModelInfoJSON, error) {
+	var out ModelInfoJSON
+	if err := rc.get("/api/models/"+name, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Eval evaluates a remote model.
+func (rc *Remote) Eval(name string, params map[string]float64) (*EstimateJSON, error) {
+	blob, err := json.Marshal(EvalRequest{Model: name, Params: params})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, rc.BaseURL+"/api/eval", bytes.NewReader(blob))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if rc.Key != "" {
+		req.Header.Set("X-PowerPlay-Key", rc.Key)
+	}
+	resp, err := rc.client().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("remote %s: %w", rc.BaseURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var ae apiError
+		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
+			return nil, fmt.Errorf("remote %s: %s", rc.BaseURL, ae.Error)
+		}
+		return nil, fmt.Errorf("remote %s: %s", rc.BaseURL, resp.Status)
+	}
+	var out EstimateJSON
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// proxyModel is a local model.Model whose evaluations happen on the
+// remote site.
+type proxyModel struct {
+	remote    *Remote
+	localName string
+	info      model.Info
+	remoteRef string
+}
+
+// Info implements model.Model.
+func (p *proxyModel) Info() model.Info { return p.info }
+
+// Evaluate implements model.Model.
+func (p *proxyModel) Evaluate(params model.Params) (*model.Estimate, error) {
+	raw := make(map[string]float64, len(params))
+	for k, v := range params {
+		raw[k] = v
+	}
+	ej, err := p.remote.Eval(p.remoteRef, raw)
+	if err != nil {
+		return nil, err
+	}
+	return estimateFromJSON(ej), nil
+}
+
+func estimateFromJSON(ej *EstimateJSON) *model.Estimate {
+	est := &model.Estimate{
+		VDD:   units.Volts(ej.VDD),
+		Area:  units.SquareMeters(ej.Area),
+		Delay: units.Seconds(ej.Delay),
+		Notes: ej.Notes,
+	}
+	for _, t := range ej.Dynamic {
+		est.AddSwing(t.Label, units.Farads(t.Csw), units.Volts(t.Vswing), units.Hertz(t.Freq))
+	}
+	for _, st := range ej.Static {
+		est.AddStatic(st.Label, units.Amps(st.I))
+	}
+	return est
+}
+
+func infoFromJSON(ij *ModelInfoJSON, localName string) model.Info {
+	info := model.Info{
+		Name:  localName,
+		Title: ij.Title,
+		Class: model.Class(ij.Class),
+		Doc:   ij.Doc,
+	}
+	for _, p := range ij.Params {
+		mp := model.Param{
+			Name: p.Name, Doc: p.Doc, Unit: p.Unit,
+			Default: p.Default, Min: p.Min, Max: p.Max, Integer: p.Integer,
+		}
+		for _, o := range p.Options {
+			mp.Options = append(mp.Options, model.Option{Label: o.Label, Value: o.Value})
+		}
+		info.Params = append(info.Params, mp)
+	}
+	return info
+}
+
+// Mount registers every model of the remote site into reg under
+// prefix+"." (e.g. "berkeley.ucb.sram").  Parameter validation happens
+// locally against the fetched schemas; evaluation happens remotely.
+// It returns the number of models mounted.
+func Mount(reg *model.Registry, rc *Remote, prefix string) (int, error) {
+	if prefix == "" {
+		return 0, fmt.Errorf("web: mount needs a prefix")
+	}
+	summaries, err := rc.Models()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, sum := range summaries {
+		ij, err := rc.Info(sum.Name)
+		if err != nil {
+			return n, err
+		}
+		localName := prefix + "." + sum.Name
+		p := &proxyModel{
+			remote:    rc,
+			localName: localName,
+			remoteRef: sum.Name,
+			info:      infoFromJSON(ij, localName),
+		}
+		if err := reg.Register(p); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+var _ model.Model = (*proxyModel)(nil)

@@ -1,0 +1,344 @@
+// Package web is PowerPlay's World Wide Web application: the access
+// mechanism that makes the framework universally available.
+//
+// The 1996 implementation was HTML pages plus Perl CGI scripts; this
+// one is Go's net/http and html/template, but every interaction from
+// the paper's "PowerPlay Implementation" section is present:
+//
+//   - user identification on first access, with per-user defaults and
+//     designs persisted on the server's local file system;
+//   - a menu page linking the library, the user's designs, the
+//     model-definition form, and the tutorials;
+//   - per-cell input pages (Figure 4) with virtually-instantaneous
+//     feedback and a save-to-spreadsheet action;
+//   - design spreadsheets (Figures 2 and 5) whose Play button
+//     recalculates the whole hierarchy, with every subcircuit
+//     hyperlinked to its own page and documentation;
+//   - an interactive page for defining new models from equations; and
+//   - the HTTP model-access protocol of Figures 6–7, through which a
+//     PowerPlay site serves its models to remote sites and mounts
+//     remote libraries into its own namespace, with optional
+//     password restriction.
+package web
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"powerplay/internal/core/model"
+	"powerplay/internal/core/sheet"
+	"powerplay/internal/library"
+)
+
+// Config parameterizes a server.
+type Config struct {
+	// SiteName labels pages ("Berkeley", "Motorola").
+	SiteName string
+	// DataDir persists users, designs and models; empty keeps
+	// everything in memory (tests, demos).
+	DataDir string
+	// Password, when non-empty, restricts both the HTML login and the
+	// remote model API ("PowerPlay can provide password-restricted
+	// access").
+	Password string
+}
+
+// User is one identified user's server-side state.
+type User struct {
+	// Name is the login name.
+	Name string
+	// Defaults remembers the last-used parameters per model, keyed by
+	// model name: the "relevant user default parameters" of the paper.
+	Defaults map[string]map[string]float64
+	// Designs are the user's sheets, by name.
+	Designs map[string]*sheet.Design
+}
+
+// Server is one PowerPlay site.
+type Server struct {
+	cfg      Config
+	registry *model.Registry
+
+	mu       sync.RWMutex
+	sessions map[string]string // token -> user name
+	users    map[string]*User
+}
+
+// NewServer builds a site over a model registry (usually
+// library.Standard() plus site-local models).  If cfg.DataDir is set,
+// previously persisted users, designs and user models are loaded.
+func NewServer(cfg Config, reg *model.Registry) (*Server, error) {
+	if cfg.SiteName == "" {
+		cfg.SiteName = "PowerPlay"
+	}
+	s := &Server{
+		cfg:      cfg,
+		registry: reg,
+		sessions: make(map[string]string),
+		users:    make(map[string]*User),
+	}
+	if cfg.DataDir != "" {
+		if err := s.loadState(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Registry exposes the site's model namespace.
+func (s *Server) Registry() *model.Registry { return s.registry }
+
+// InstallDesign places a design under a user's account (creating the
+// account if needed) and persists it: how seeded demos and programmatic
+// imports land on a site.
+func (s *Server) InstallDesign(userName string, d *sheet.Design) error {
+	if !validUserName(userName) {
+		return fmt.Errorf("web: invalid user name %q", userName)
+	}
+	if !validUserName(d.Name) {
+		return fmt.Errorf("web: design name %q not addressable in URLs", d.Name)
+	}
+	s.mu.Lock()
+	u, ok := s.users[userName]
+	if !ok {
+		u = &User{
+			Name:     userName,
+			Defaults: make(map[string]map[string]float64),
+			Designs:  make(map[string]*sheet.Design),
+		}
+		s.users[userName] = u
+	}
+	u.Designs[d.Name] = d
+	s.mu.Unlock()
+	return s.saveUser(u)
+}
+
+// Handler returns the site's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	// HTML application.
+	mux.HandleFunc("GET /{$}", s.handleFront)
+	mux.HandleFunc("POST /login", s.handleLogin)
+	mux.HandleFunc("GET /logout", s.handleLogout)
+	mux.HandleFunc("GET /menu", s.auth(s.handleMenu))
+	mux.HandleFunc("GET /library", s.auth(s.handleLibrary))
+	mux.HandleFunc("GET /cell/{name...}", s.auth(s.handleCellForm))
+	mux.HandleFunc("POST /cell/{name...}", s.auth(s.handleCellEval))
+	mux.HandleFunc("GET /designs", s.auth(s.handleDesigns))
+	mux.HandleFunc("POST /designs", s.auth(s.handleDesignCreate))
+	mux.HandleFunc("GET /design/{name}", s.auth(s.handleDesignSheet))
+	mux.HandleFunc("POST /design/{name}/play", s.auth(s.handleDesignPlay))
+	mux.HandleFunc("POST /design/{name}/rows", s.auth(s.handleDesignRows))
+	mux.HandleFunc("GET /design/{name}/analysis", s.auth(s.handleDesignAnalysis))
+	mux.HandleFunc("GET /design/{name}/sweep", s.auth(s.handleDesignSweep))
+	mux.HandleFunc("GET /design/{name}/export", s.auth(s.handleDesignExport))
+	mux.HandleFunc("GET /design/{name}/csv", s.auth(s.handleDesignCSV))
+	mux.HandleFunc("POST /designs/import", s.auth(s.handleDesignImport))
+	mux.HandleFunc("GET /models/new", s.auth(s.handleModelForm))
+	mux.HandleFunc("POST /models/new", s.auth(s.handleModelCreate))
+	mux.HandleFunc("GET /models/edit/{name...}", s.auth(s.handleModelEdit))
+	mux.HandleFunc("GET /doc/{name...}", s.auth(s.handleDoc))
+	mux.HandleFunc("GET /help", s.handleHelp)
+	// Remote model protocol (Figures 6-7).
+	mux.HandleFunc("GET /api/models", s.apiAuth(s.apiModels))
+	mux.HandleFunc("GET /api/models/{name...}", s.apiAuth(s.apiModelInfo))
+	mux.HandleFunc("POST /api/eval", s.apiAuth(s.apiEval))
+	mux.HandleFunc("GET /api/equations", s.apiAuth(s.apiEquations))
+	return mux
+}
+
+// ----- sessions -----
+
+const sessionCookie = "powerplay_session"
+
+func newToken() string {
+	b := make([]byte, 16)
+	if _, err := rand.Read(b); err != nil {
+		panic(err) // crypto/rand failure is not recoverable
+	}
+	return hex.EncodeToString(b)
+}
+
+// currentUser resolves the request's session, if any.
+func (s *Server) currentUser(r *http.Request) *User {
+	c, err := r.Cookie(sessionCookie)
+	if err != nil {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	name, ok := s.sessions[c.Value]
+	if !ok {
+		return nil
+	}
+	return s.users[name]
+}
+
+// auth wraps HTML handlers: unidentified users are sent to the login
+// page, since WWW browsers do not supply user names.
+func (s *Server) auth(h func(http.ResponseWriter, *http.Request, *User)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		u := s.currentUser(r)
+		if u == nil {
+			http.Redirect(w, r, "/", http.StatusSeeOther)
+			return
+		}
+		h(w, r, u)
+	}
+}
+
+// apiAuth guards the remote protocol with the optional site password,
+// carried in the X-PowerPlay-Key header ("secure scripts at Universal
+// Resource Locators").
+func (s *Server) apiAuth(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.Password != "" && r.Header.Get("X-PowerPlay-Key") != s.cfg.Password {
+			http.Error(w, "powerplay: missing or wrong site key", http.StatusUnauthorized)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// login identifies a user, creating server-side state on first access.
+func (s *Server) login(name string) (token string, err error) {
+	if !validUserName(name) {
+		return "", fmt.Errorf("invalid user name %q", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u, ok := s.users[name]
+	if !ok {
+		u = &User{
+			Name:     name,
+			Defaults: make(map[string]map[string]float64),
+			Designs:  make(map[string]*sheet.Design),
+		}
+		s.users[name] = u
+	}
+	token = newToken()
+	s.sessions[token] = name
+	return token, nil
+}
+
+func validUserName(s string) bool {
+	if s == "" || len(s) > 64 {
+		return false
+	}
+	for _, r := range s {
+		ok := r == '_' || r == '-' || r >= 'a' && r <= 'z' ||
+			r >= 'A' && r <= 'Z' || r >= '0' && r <= '9'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ----- persistence -----
+
+func (s *Server) userDir(name string) string {
+	return filepath.Join(s.cfg.DataDir, "users", name)
+}
+
+// saveUser persists a user's defaults and designs.
+func (s *Server) saveUser(u *User) error {
+	if s.cfg.DataDir == "" {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	dir := s.userDir(u.Name)
+	if err := os.MkdirAll(filepath.Join(dir, "designs"), 0o755); err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(u.Defaults, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "defaults.json"), blob, 0o644); err != nil {
+		return err
+	}
+	for name, d := range u.Designs {
+		db, err := d.MarshalJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, "designs", name+".json"), db, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// saveModels persists the site's user-defined equation models.
+func (s *Server) saveModels() error {
+	if s.cfg.DataDir == "" {
+		return nil
+	}
+	blob, err := library.DumpEquations(s.registry)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(s.cfg.DataDir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(s.cfg.DataDir, "models.json"), blob, 0o644)
+}
+
+// loadState restores users, designs and site models from DataDir.
+func (s *Server) loadState() error {
+	if blob, err := os.ReadFile(filepath.Join(s.cfg.DataDir, "models.json")); err == nil {
+		if _, err := library.LoadEquations(s.registry, blob); err != nil {
+			return fmt.Errorf("web: loading site models: %w", err)
+		}
+	}
+	usersDir := filepath.Join(s.cfg.DataDir, "users")
+	entries, err := os.ReadDir(usersDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !validUserName(e.Name()) {
+			continue
+		}
+		u := &User{
+			Name:     e.Name(),
+			Defaults: make(map[string]map[string]float64),
+			Designs:  make(map[string]*sheet.Design),
+		}
+		dir := s.userDir(u.Name)
+		if blob, err := os.ReadFile(filepath.Join(dir, "defaults.json")); err == nil {
+			if err := json.Unmarshal(blob, &u.Defaults); err != nil {
+				return fmt.Errorf("web: user %s defaults: %w", u.Name, err)
+			}
+		}
+		designs, _ := os.ReadDir(filepath.Join(dir, "designs"))
+		for _, de := range designs {
+			if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
+				continue
+			}
+			blob, err := os.ReadFile(filepath.Join(dir, "designs", de.Name()))
+			if err != nil {
+				return err
+			}
+			d, err := sheet.ParseDesign(blob, s.registry)
+			if err != nil {
+				return fmt.Errorf("web: user %s design %s: %w", u.Name, de.Name(), err)
+			}
+			u.Designs[strings.TrimSuffix(de.Name(), ".json")] = d
+		}
+		s.users[u.Name] = u
+	}
+	return nil
+}

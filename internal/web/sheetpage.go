@@ -1,0 +1,228 @@
+package web
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"powerplay/internal/core/sheet"
+	"powerplay/internal/units"
+)
+
+// The design spreadsheet pages: Figures 2 and 5.
+
+type sheetPage struct {
+	base
+	Name       string
+	Doc        string
+	Rows       []sheetRow
+	Globals    []sheetGlobal
+	TotalPower string
+	TotalArea  string
+	TotalDelay string
+}
+
+type sheetRow struct {
+	Name, Model string
+	Indent      int
+	Params      []sheetParam
+	Energy      string
+	Power       string
+	Area        string
+	Delay       string
+}
+
+type sheetParam struct {
+	Name  string
+	Field string // form field suffix: path|param
+	Src   string
+}
+
+type sheetGlobal struct {
+	Name, Src, Value string
+}
+
+func (s *Server) design(u *User, name string) (*sheet.Design, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := u.Designs[name]
+	return d, ok
+}
+
+// buildSheetPage renders the design with results (if evaluation
+// succeeded) or with the structural view plus the error.
+func (s *Server) buildSheetPage(d *sheet.Design) sheetPage {
+	page := sheetPage{base: s.base(d.Name + " summary"), Name: d.Name, Doc: d.Doc}
+	r, err := d.Evaluate()
+	if err != nil {
+		page.Error = err.Error()
+	}
+	var walk func(n *sheet.Node, res *sheet.Result, depth int)
+	walk = func(n *sheet.Node, res *sheet.Result, depth int) {
+		if depth > 0 {
+			row := sheetRow{Name: n.Name, Model: n.Model, Indent: depth - 1}
+			for _, b := range n.Params {
+				row.Params = append(row.Params, sheetParam{
+					Name:  b.Name,
+					Field: n.Path() + "|" + b.Name,
+					Src:   b.Expr.Source(),
+				})
+			}
+			if res != nil {
+				if res.Estimate != nil {
+					row.Energy = units.Sci(float64(res.EnergyPerOp), "J")
+				}
+				row.Power = units.Sci(float64(res.Power), "W")
+				row.Area = res.Area.String()
+				row.Delay = res.Delay.String()
+			}
+			page.Rows = append(page.Rows, row)
+		}
+		for i, c := range n.Children {
+			var cr *sheet.Result
+			if res != nil && i < len(res.Children) {
+				cr = res.Children[i]
+			}
+			walk(c, cr, depth+1)
+		}
+	}
+	var rootRes *sheet.Result
+	if err == nil {
+		rootRes = r
+	}
+	walk(d.Root, rootRes, 0)
+	for _, g := range d.Root.Globals {
+		sg := sheetGlobal{Name: g.Name, Src: g.Expr.Source()}
+		if v, ok := g.Expr.Const(); ok {
+			sg.Value = fmt.Sprintf("%g", v)
+		}
+		page.Globals = append(page.Globals, sg)
+	}
+	if err == nil {
+		page.TotalPower = units.Sci(float64(r.Power), "W")
+		page.TotalArea = r.Area.String()
+		page.TotalDelay = r.Delay.String()
+	}
+	return page
+}
+
+func (s *Server) handleDesignSheet(w http.ResponseWriter, r *http.Request, u *User) {
+	d, ok := s.design(u, r.PathValue("name"))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	s.mu.RLock()
+	page := s.buildSheetPage(d)
+	s.mu.RUnlock()
+	s.render(w, "sheet", page)
+}
+
+// handleDesignPlay is the PLAY button: absorb every edited cell, then
+// recompute the hierarchy.
+func (s *Server) handleDesignPlay(w http.ResponseWriter, r *http.Request, u *User) {
+	d, ok := s.design(u, r.PathValue("name"))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	if err := r.ParseForm(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	var editErr error
+	for key, vals := range r.PostForm {
+		if len(vals) == 0 {
+			continue
+		}
+		src := strings.TrimSpace(vals[0])
+		switch {
+		case strings.HasPrefix(key, "row_"):
+			spec := strings.TrimPrefix(key, "row_")
+			path, param, ok := strings.Cut(spec, "|")
+			if !ok {
+				continue
+			}
+			n := d.Root.Find(path)
+			if n == nil {
+				editErr = fmt.Errorf("no row %q", path)
+				continue
+			}
+			if src == "" {
+				n.DeleteParam(param)
+				continue
+			}
+			if err := n.SetParam(param, src); err != nil {
+				editErr = err
+			}
+		case strings.HasPrefix(key, "glob_"):
+			name := strings.TrimPrefix(key, "glob_")
+			if src == "" {
+				d.Root.DeleteGlobal(name)
+				continue
+			}
+			if err := d.Root.SetGlobal(name, src); err != nil {
+				editErr = err
+			}
+		}
+	}
+	page := s.buildSheetPage(d)
+	s.mu.Unlock()
+	if editErr != nil && page.Error == "" {
+		page.Error = editErr.Error()
+	}
+	if err := s.saveUser(u); err != nil && page.Error == "" {
+		page.Error = "saving design: " + err.Error()
+	}
+	s.render(w, "sheet", page)
+}
+
+// handleDesignRows adds/removes rows and sets top-level variables.
+func (s *Server) handleDesignRows(w http.ResponseWriter, r *http.Request, u *User) {
+	d, ok := s.design(u, r.PathValue("name"))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	s.mu.Lock()
+	var err error
+	switch r.FormValue("action") {
+	case "Add":
+		parent := d.Root
+		if p := strings.TrimSpace(r.FormValue("parent")); p != "" {
+			if parent = d.Root.Find(p); parent == nil {
+				err = fmt.Errorf("no row %q", p)
+			}
+		}
+		if err == nil {
+			_, err = parent.AddChild(strings.TrimSpace(r.FormValue("row")),
+				strings.TrimSpace(r.FormValue("model")))
+		}
+	case "Remove":
+		path := strings.TrimSpace(r.FormValue("row"))
+		target := d.Root.Find(path)
+		if target == nil || target.Parent() == nil {
+			err = fmt.Errorf("no removable row %q", path)
+		} else {
+			target.Parent().RemoveChild(target.Name)
+		}
+	case "SetVar":
+		err = d.Root.SetGlobal(strings.TrimSpace(r.FormValue("var")),
+			strings.TrimSpace(r.FormValue("expr")))
+	default:
+		err = fmt.Errorf("unknown action %q", r.FormValue("action"))
+	}
+	page := s.buildSheetPage(d)
+	s.mu.Unlock()
+	if err != nil {
+		page.Error = err.Error()
+		w.WriteHeader(http.StatusBadRequest)
+		s.render(w, "sheet", page)
+		return
+	}
+	if serr := s.saveUser(u); serr != nil && page.Error == "" {
+		page.Error = "saving design: " + serr.Error()
+	}
+	s.render(w, "sheet", page)
+}

@@ -1,0 +1,109 @@
+package web
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"powerplay/internal/core/explore"
+	"powerplay/internal/core/sheet"
+	"powerplay/internal/units"
+)
+
+// The exploration page: "the study of the impact of parameter
+// variations (such as supply voltage and clock frequency)" as a form —
+// pick a variable and a range, get the swept table with the Pareto-
+// optimal rows marked.
+
+type sweepPage struct {
+	base
+	Name     string
+	Var      string
+	From, To string
+	Steps    string
+	Rows     []sweepRow
+}
+
+type sweepRow struct {
+	Value  string
+	Power  string
+	Area   string
+	Delay  string
+	Pareto bool
+}
+
+func (s *Server) handleDesignSweep(w http.ResponseWriter, r *http.Request, u *User) {
+	d, ok := s.design(u, r.PathValue("name"))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	page := sweepPage{
+		base:  s.base(d.Name + " exploration"),
+		Name:  d.Name,
+		Var:   strings.TrimSpace(r.FormValue("var")),
+		From:  strings.TrimSpace(r.FormValue("from")),
+		To:    strings.TrimSpace(r.FormValue("to")),
+		Steps: strings.TrimSpace(r.FormValue("steps")),
+	}
+	// Defaults: a supply sweep.
+	if page.Var == "" {
+		page.Var, page.From, page.To, page.Steps = "vdd", "1.0", "3.3", "8"
+	}
+	fail := func(msg string) {
+		page.Error = msg
+		w.WriteHeader(http.StatusBadRequest)
+		s.render(w, "sweep", page)
+	}
+	from, err := units.Parse(page.From)
+	if err != nil {
+		fail("from: " + err.Error())
+		return
+	}
+	to, err := units.Parse(page.To)
+	if err != nil {
+		fail("to: " + err.Error())
+		return
+	}
+	steps, err := strconv.Atoi(page.Steps)
+	if err != nil || steps < 2 || steps > 200 {
+		fail("steps must be an integer in [2, 200]")
+		return
+	}
+	s.mu.RLock()
+	// The variable must exist somewhere in the sheet (overriding an
+	// unknown name would sweep nothing and silently plot a flat line).
+	known := false
+	d.Root.Walk(func(n *sheet.Node) {
+		if n.Global(page.Var) != nil {
+			known = true
+		}
+	})
+	if !known {
+		s.mu.RUnlock()
+		fail(fmt.Sprintf("no variable %q in this design", page.Var))
+		return
+	}
+	pts, err := explore.Sweep(d, page.Var, explore.Linspace(from, to, steps))
+	s.mu.RUnlock()
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+	front := explore.Pareto(pts)
+	onFront := make(map[float64]bool, len(front))
+	for _, p := range front {
+		onFront[p.Vars[page.Var]] = true
+	}
+	for _, p := range pts {
+		page.Rows = append(page.Rows, sweepRow{
+			Value:  fmt.Sprintf("%.4g", p.Vars[page.Var]),
+			Power:  units.Watts(p.Power).String(),
+			Area:   units.SquareMeters(p.Area).String(),
+			Delay:  units.Seconds(p.Delay).String(),
+			Pareto: onFront[p.Vars[page.Var]],
+		})
+	}
+	s.render(w, "sweep", page)
+}

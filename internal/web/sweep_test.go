@@ -1,0 +1,66 @@
+package web
+
+import (
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+
+	"powerplay/internal/library"
+)
+
+func TestSweepPage(t *testing.T) {
+	_, ts, c := site(t, Config{})
+	loginAs(t, ts, c, "u", "")
+	post(t, c, ts.URL+"/designs", url.Values{"name": {"d"}})
+	post(t, c, ts.URL+"/cell/"+library.SRAM, url.Values{
+		"p_words": {"1024"}, "p_bits": {"8"},
+		"action": {"Add to design"}, "design": {"d"}, "row": {"mem"},
+	})
+	// Default sweep (vdd 1.0..3.3 in 8 steps).
+	code, body := fetch(t, c, ts.URL+"/design/d/sweep")
+	if code != 200 {
+		t.Fatalf("sweep: %d", code)
+	}
+	if strings.Count(body, "<tr>") != 9 { // header + 8 rows
+		t.Errorf("row count wrong:\n%s", body)
+	}
+	// Every voltage point of a CMOS design is Pareto-optimal.
+	if got := strings.Count(body, "<td>*</td>"); got != 8 {
+		t.Errorf("pareto marks = %d, want 8", got)
+	}
+	// Explicit frequency sweep with engineering notation bounds.
+	code, body = fetch(t, c, ts.URL+"/design/d/sweep?var=f&from=1MHz&to=4MHz&steps=4")
+	if code != 200 || strings.Count(body, "<tr>") != 5 {
+		t.Fatalf("freq sweep: %d", code)
+	}
+	// Power must grow down the table (linear in f).
+	first := strings.Index(body, "uW")
+	last := strings.LastIndex(body, "uW")
+	if first == last {
+		t.Errorf("expected multiple power cells: %s", grep(body, "uW"))
+	}
+	// Bad inputs are reported.
+	for _, q := range []string{
+		"?var=vdd&from=abc&to=3&steps=4",
+		"?var=vdd&from=1&to=xyz&steps=4",
+		"?var=vdd&from=1&to=3&steps=1",
+		"?var=vdd&from=1&to=3&steps=9999",
+		"?var=nosuchvar&from=1&to=3&steps=4",
+	} {
+		resp, err := c.Get(ts.URL + "/design/d/sweep" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("query %q: %d", q, resp.StatusCode)
+		}
+	}
+	// Unknown design.
+	resp, _ := c.Get(ts.URL + "/design/none/sweep")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing design: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,205 @@
+// Integration tests through the public facade: everything a downstream
+// user does with the package, end to end.
+package powerplay_test
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"powerplay"
+	"powerplay/internal/web"
+)
+
+func almost(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	// The doc-comment example, verified.
+	reg := powerplay.StandardLibrary()
+	d := powerplay.NewDesign("demo", reg)
+	d.Root.SetGlobalValue("vdd", 1.5, "1.5")
+	d.Root.SetGlobalValue("f", 2e6, "2MHz")
+	row := d.Root.MustAddChild("mult", powerplay.ArrayMultiplier)
+	if err := row.SetParam("bwA", "8"); err != nil {
+		t.Fatal(err)
+	}
+	if err := row.SetParam("bwB", "8"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 64 * 253e-15 * 1.5 * 1.5 * 2e6
+	if !almost(float64(res.Power), want) {
+		t.Errorf("quickstart power = %v, want %v", res.Power, want)
+	}
+}
+
+func TestPaperHeadlineNumbers(t *testing.T) {
+	// The one table every reader of the reproduction checks first.
+	reg := powerplay.StandardLibrary()
+	d1, err := powerplay.Luminance1(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := powerplay.Luminance2(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := d1.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := d2.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := float64(r1.Power), float64(r2.Power)
+	t.Logf("Figure 1 architecture: %v", r1.Power)
+	t.Logf("Figure 3 architecture: %v (paper: ~150uW)", r2.Power)
+	t.Logf("ratio: %.2f (paper: ~5)", p1/p2)
+	if p2 < 120e-6 || p2 > 190e-6 {
+		t.Errorf("implementation 2 outside the paper's ~150uW band: %v", r2.Power)
+	}
+	if r := p1 / p2; r < 4 || r > 6.5 {
+		t.Errorf("ratio %v outside the paper's ~5x", r)
+	}
+	if oct := p2 / 100e-6; oct >= 2 || oct <= 0.5 {
+		t.Errorf("not within an octave of the measured 100uW: %v", r2.Power)
+	}
+}
+
+func TestReportThroughFacade(t *testing.T) {
+	reg := powerplay.StandardLibrary()
+	d, err := powerplay.Luminance1(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	powerplay.Report(&b, d, r)
+	if !strings.Contains(b.String(), "look_up_table") {
+		t.Error("report missing rows")
+	}
+}
+
+func TestMacroAndJSONThroughFacade(t *testing.T) {
+	reg := powerplay.StandardLibrary()
+	d, err := powerplay.Luminance2(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mac, err := powerplay.NewMacro("m.vq", "VQ chip", "doc", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(mac); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := d.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := powerplay.ParseDesign(blob, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := d.Evaluate()
+	r2, err := d2.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Power != r2.Power {
+		t.Error("JSON round trip changed the estimate")
+	}
+}
+
+func TestEvaluateDirectModel(t *testing.T) {
+	reg := powerplay.StandardLibrary()
+	m, ok := reg.Lookup(powerplay.DCDC)
+	if !ok {
+		t.Fatal("library missing converter")
+	}
+	est, err := powerplay.Evaluate(m, powerplay.Params{"pload": 2, "eta": 0.8, "vdd": 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(float64(est.Power()), 0.5) {
+		t.Errorf("EQ 19 through facade = %v", est.Power())
+	}
+}
+
+func TestServerAndRemoteThroughFacade(t *testing.T) {
+	srv, err := powerplay.NewServer(powerplay.ServerConfig{SiteName: "T"}, powerplay.StandardLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	local := powerplay.StandardLibrary()
+	n, err := powerplay.MountRemote(local, &powerplay.Remote{BaseURL: ts.URL}, "remote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 20 {
+		t.Errorf("mounted %d", n)
+	}
+	est, err := local.Evaluate("remote."+powerplay.RippleAdder,
+		powerplay.Params{"bits": 16, "vdd": 1.5, "f": 2e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 16 * 48e-15 * 2.25 * 2e6
+	if !almost(float64(est.Power()), want) {
+		t.Errorf("remote adder = %v, want %v", est.Power(), want)
+	}
+}
+
+func TestInstallDesignSeedsSite(t *testing.T) {
+	reg := powerplay.StandardLibrary()
+	srv, err := powerplay.NewServer(powerplay.ServerConfig{}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := powerplay.Luminance1(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.InstallDesign("demo", d); err != nil {
+		t.Fatal(err)
+	}
+	// The web package test helpers cover the HTTP side; here just
+	// confirm a second install for the same user is idempotent.
+	if err := srv.InstallDesign("demo", d); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.InstallDesign("bad name", d); err == nil {
+		t.Error("invalid user should fail")
+	}
+}
+
+func TestSortingThroughFacade(t *testing.T) {
+	data := []int64{5, 3, 8, 1, 9, 2, 7, 4, 6, 0}
+	rows, err := powerplay.MeasureSorts(data, powerplay.DefaultEnergyTable(),
+		powerplay.CacheConfig{Size: 1024, BlockSize: 16, Assoc: 2, WriteBack: true, WriteAllocate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Energy <= 0 {
+			t.Errorf("%s: zero energy", r.Algorithm)
+		}
+	}
+}
+
+var _ = web.Config{} // keep the import pinned for the bench file's use
