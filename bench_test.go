@@ -6,6 +6,7 @@
 package powerplay_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -187,6 +188,85 @@ func BenchmarkParameterSweep(b *testing.B) {
 			if _, err := d.EvaluateAt(map[string]float64{"vdd": vdd}); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// benchmarkSweepWorkers times a 64-point supply sweep of the Figure 3
+// sheet through the exploration engine at a given pool size (X18).
+// Workers == 1 is the serial baseline the parallel rows are compared
+// against in EXPERIMENTS.md.
+func benchmarkSweepWorkers(b *testing.B, workers int) {
+	reg := powerplay.StandardLibrary()
+	d, err := powerplay.Luminance2(reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner := &powerplay.ExploreRunner{Workers: workers}
+	values := powerplay.Linspace(1.0, 3.3, 64)
+	ctx := context.Background()
+	// Verify the engine once outside the loop: parallel must equal serial.
+	pts, err := runner.Sweep(ctx, d, "vdd", values)
+	if err != nil || len(pts) != 64 {
+		b.Fatalf("sweep shape drifted: %d points, %v", len(pts), err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Sweep(ctx, d, "vdd", values); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepSerial(b *testing.B)   { benchmarkSweepWorkers(b, 1) }
+func BenchmarkSweepWorkers4(b *testing.B) { benchmarkSweepWorkers(b, 4) }
+func BenchmarkSweepWorkers8(b *testing.B) { benchmarkSweepWorkers(b, 8) }
+
+// benchmarkSweep2DWorkers times an 8×8 supply/frequency cross product
+// — the web exploration page's heaviest request shape (X18).
+func benchmarkSweep2DWorkers(b *testing.B, workers int) {
+	reg := powerplay.StandardLibrary()
+	d, err := powerplay.Luminance2(reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner := &powerplay.ExploreRunner{Workers: workers}
+	v1 := powerplay.Linspace(1.0, 3.3, 8)
+	v2 := powerplay.Linspace(1e6, 8e6, 8)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Sweep2D(ctx, d, "vdd", v1, "f", v2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweep2DSerial(b *testing.B)   { benchmarkSweep2DWorkers(b, 1) }
+func BenchmarkSweep2DWorkers4(b *testing.B) { benchmarkSweep2DWorkers(b, 4) }
+func BenchmarkSweep2DWorkers8(b *testing.B) { benchmarkSweep2DWorkers(b, 8) }
+
+// BenchmarkSweepCached times the warm-cache path: the same sweep a
+// second web request would issue, every point memoized.
+func BenchmarkSweepCached(b *testing.B) {
+	reg := powerplay.StandardLibrary()
+	d, err := powerplay.Luminance2(reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner := &powerplay.ExploreRunner{Cache: powerplay.NewExploreCache(0)}
+	values := powerplay.Linspace(1.0, 3.3, 64)
+	ctx := context.Background()
+	if _, err := runner.Sweep(ctx, d, "vdd", values); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Sweep(ctx, d, "vdd", values); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -25,7 +26,7 @@ func runMinVDD() error {
 	fmt.Println("voltage-scaling exploration of the Figure 3 architecture (power budgeting at an early stage):")
 	fmt.Printf("%12s %10s %14s %14s %8s\n", "target f", "min VDD", "P @ nominal", "P @ min VDD", "saving")
 	for _, f := range []float64{2e6, 10e6, 25e6, 40e6} {
-		s, err := explore.VoltageScale(d, f, 0.8, 3.3)
+		s, err := explore.VoltageScale(context.Background(), d, f, 0.8, 3.3)
 		if err != nil {
 			fmt.Printf("%12s %10s\n", units.Hertz(f), "unreachable in [0.8, 3.3]V")
 			continue
@@ -35,7 +36,7 @@ func runMinVDD() error {
 			units.Watts(s.NominalPower), units.Watts(s.MinPower), 100*s.Saving())
 	}
 	fmt.Println("\nPareto frontier of the supply sweep (every point non-dominated — the CMOS power/delay trade):")
-	pts, err := explore.Sweep(d, "vdd", explore.Linspace(1.0, 3.3, 8))
+	pts, err := explore.Sweep(context.Background(), d, "vdd", explore.Linspace(1.0, 3.3, 8))
 	if err != nil {
 		return err
 	}
@@ -169,7 +170,7 @@ func runArchScale() error {
 	fmt.Printf("architecture-driven voltage scaling: a %s multiply-accumulate stream,\n", units.Hertz(fs))
 	fmt.Println("implemented as N parallel 16-bit MAC lanes each clocked at fs/N, supply lowered")
 	fmt.Println("to the minimum meeting timing (ref [5], Chandrakasan's low-power methodology):")
-	pts, err := vqsim.ArchScale(reg, fs, []int{1, 2, 4, 8})
+	pts, err := vqsim.ArchScale(context.Background(), reg, fs, []int{1, 2, 4, 8})
 	if err != nil {
 		return err
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,7 +22,7 @@ import (
 func main() {
 	reg := powerplay.StandardLibrary()
 	const fs = 20e6
-	pts, err := powerplay.ArchScale(reg, fs, []int{1, 2, 4, 8, 16})
+	pts, err := powerplay.ArchScale(context.Background(), reg, fs, []int{1, 2, 4, 8, 16})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package powerplay_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -13,7 +14,7 @@ func TestSweepAndParetoThroughFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pts, err := powerplay.Sweep(d, "vdd", powerplay.Linspace(1.0, 3.3, 6))
+	pts, err := powerplay.Sweep(context.Background(), d, "vdd", powerplay.Linspace(1.0, 3.3, 6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestVoltageScaleThroughFacade(t *testing.T) {
 	}
 	// The chip only needs 2 MHz; the library is characterized at 1.5 V
 	// but meets 2 MHz far below that.
-	s, err := powerplay.VoltageScale(d, 2e6, 0.8, 3.3)
+	s, err := powerplay.VoltageScale(context.Background(), d, 2e6, 0.8, 3.3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestVoltageScaleThroughFacade(t *testing.T) {
 	if s.Saving() < 0.8 {
 		t.Errorf("saving = %.0f%%", 100*s.Saving())
 	}
-	v, err := powerplay.MinSupply(d, 2e6, 0.8, 3.3)
+	v, err := powerplay.MinSupply(context.Background(), d, 2e6, 0.8, 3.3)
 	if err != nil || math.Abs(v-s.MinVDD) > 1e-6 {
 		t.Errorf("MinSupply = %v, %v", v, err)
 	}

@@ -1,0 +1,126 @@
+package explore
+
+import (
+	"container/list"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Cache memoizes evaluated design points for one design, keyed by the
+// override vector.  The web sweep page re-evaluates the whole range on
+// every request; with a Cache attached to the Runner, a repeated or
+// overlapping request re-uses every point already priced at the same
+// operating coordinates instead of re-playing the sheet.
+//
+// A Cache is only valid for a single design snapshot: the key encodes
+// the overrides, not the sheet's cell contents, so any edit to the
+// design must be answered with a fresh Cache (the web server keys its
+// caches by a hash of the serialized design and drops them on change).
+//
+// All methods are safe for concurrent use; one Cache may be shared by
+// every worker of a Runner and across overlapping HTTP requests.
+type Cache struct {
+	mu      sync.Mutex
+	limit   int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	hits    int64
+	misses  int64
+}
+
+// cacheRecord is one stored point: the key plus the design totals.
+// Vars are reconstructed by the caller, which already holds the
+// override map.
+type cacheRecord struct {
+	key                string
+	power, area, delay float64
+}
+
+// DefaultCacheSize bounds a NewCache(0) cache: generous enough for the
+// web UI's 200-step sweep limit across many distinct ranges, small
+// enough to be irrelevant next to a design's own footprint.
+const DefaultCacheSize = 4096
+
+// NewCache returns an empty cache holding at most limit points (LRU
+// eviction).  A limit <= 0 selects DefaultCacheSize.
+func NewCache(limit int) *Cache {
+	if limit <= 0 {
+		limit = DefaultCacheSize
+	}
+	return &Cache{
+		limit:   limit,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Key canonicalizes an override vector into a cache key: names sorted,
+// values spelled with full round-trip precision, so two maps with the
+// same bindings always collide regardless of construction order.
+func Key(overrides map[string]float64) string {
+	names := make([]string, 0, len(overrides))
+	for n := range overrides {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(n)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatFloat(overrides[n], 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// lookup returns the stored totals for a key, marking it most recently
+// used.
+func (c *Cache) lookup(key string) (cacheRecord, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return cacheRecord{}, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(cacheRecord), true
+}
+
+// store inserts a point, evicting the least recently used entry when
+// the cache is full.
+func (c *Cache) store(rec cacheRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[rec.key]; ok {
+		el.Value = rec
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[rec.key] = c.order.PushFront(rec)
+	for c.order.Len() > c.limit {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(cacheRecord).key)
+	}
+}
+
+// Len returns the number of cached points.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats reports the lifetime hit and miss counts: the observability
+// hook the web layer (and tests) use to confirm memoization is working.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

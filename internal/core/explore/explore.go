@@ -9,10 +9,24 @@
 // results into the decisions an early-phase designer actually makes:
 // which architecture wins where, how low the supply can go for a given
 // throughput, and what the energy cost of headroom is.
+//
+// # Concurrency
+//
+// Exploration is embarrassingly parallel across points, and the engine
+// exploits that: the Runner type fans points out over a worker pool
+// (default GOMAXPROCS), each worker evaluating its own
+// sheet.Design.Clone snapshot, with results reassembled in input order
+// and an optional Cache memoizing repeated operating points.  The
+// package-level Sweep, Sweep2D, MinSupply and VoltageScale are thin
+// wrappers over a zero-value Runner; all of them take a
+// context.Context and stop at the next point boundary once it is
+// canceled.  The full contract — snapshot semantics, cancellation,
+// determinism, and cache validity — is documented on Runner, Cache and
+// in DESIGN.md's "Concurrent exploration" section.
 package explore
 
 import (
-	"fmt"
+	"context"
 	"math"
 	"sort"
 
@@ -66,39 +80,19 @@ func Geomspace(lo, hi float64, n int) []float64 {
 	return out
 }
 
-// Sweep evaluates the design across values of one variable.
-func Sweep(d *sheet.Design, name string, values []float64) ([]Point, error) {
-	out := make([]Point, 0, len(values))
-	for _, v := range values {
-		r, err := d.EvaluateAt(map[string]float64{name: v})
-		if err != nil {
-			return nil, fmt.Errorf("explore: %s=%g: %w", name, v, err)
-		}
-		out = append(out, Point{
-			Vars:  map[string]float64{name: v},
-			Power: float64(r.Power), Area: float64(r.Area), Delay: float64(r.Delay),
-		})
-	}
-	return out, nil
+// Sweep evaluates the design across values of one variable using a
+// zero-value Runner (GOMAXPROCS workers, no cache); results are in
+// input order.  Construct a Runner directly to control worker count or
+// attach a Cache.
+func Sweep(ctx context.Context, d *sheet.Design, name string, values []float64) ([]Point, error) {
+	return (&Runner{}).Sweep(ctx, d, name, values)
 }
 
 // Sweep2D evaluates the cross product of two variables, row-major in
-// the first variable.
-func Sweep2D(d *sheet.Design, n1 string, v1 []float64, n2 string, v2 []float64) ([]Point, error) {
-	out := make([]Point, 0, len(v1)*len(v2))
-	for _, a := range v1 {
-		for _, b := range v2 {
-			r, err := d.EvaluateAt(map[string]float64{n1: a, n2: b})
-			if err != nil {
-				return nil, fmt.Errorf("explore: %s=%g %s=%g: %w", n1, a, n2, b, err)
-			}
-			out = append(out, Point{
-				Vars:  map[string]float64{n1: a, n2: b},
-				Power: float64(r.Power), Area: float64(r.Area), Delay: float64(r.Delay),
-			})
-		}
-	}
-	return out, nil
+// the first variable, using a zero-value Runner.  Construct a Runner
+// directly to control worker count or attach a Cache.
+func Sweep2D(ctx context.Context, d *sheet.Design, n1 string, v1 []float64, n2 string, v2 []float64) ([]Point, error) {
+	return (&Runner{}).Sweep2D(ctx, d, n1, v1, n2, v2)
 }
 
 // Pareto returns the power/delay non-dominated subset of points,
@@ -133,50 +127,10 @@ func Pareto(points []Point) []Point {
 
 // MinSupply finds, by bisection, the lowest supply voltage in
 // [lo, hi] at which the design's critical path still meets the cycle
-// time 1/fTarget.  It relies on delay decreasing monotonically with
-// supply (the alpha-power law all library delays follow).  It returns
-// an error if even hi misses the target or the design fails to
-// evaluate.
-func MinSupply(d *sheet.Design, fTarget, lo, hi float64) (float64, error) {
-	if !(lo > 0 && hi > lo) {
-		return 0, fmt.Errorf("explore: bad supply range [%g, %g]", lo, hi)
-	}
-	if fTarget <= 0 {
-		return 0, fmt.Errorf("explore: bad frequency target %g", fTarget)
-	}
-	target := 1 / fTarget
-	meets := func(vdd float64) (bool, error) {
-		r, err := d.EvaluateAt(map[string]float64{"vdd": vdd})
-		if err != nil {
-			return false, err
-		}
-		return float64(r.Delay) <= target, nil
-	}
-	ok, err := meets(hi)
-	if err != nil {
-		return 0, err
-	}
-	if !ok {
-		return 0, fmt.Errorf("explore: target %g Hz unreachable even at %g V", fTarget, hi)
-	}
-	if ok, err := meets(lo); err != nil {
-		return 0, err
-	} else if ok {
-		return lo, nil
-	}
-	for i := 0; i < 60 && hi-lo > 1e-4; i++ {
-		mid := (lo + hi) / 2
-		ok, err := meets(mid)
-		if err != nil {
-			return 0, err
-		}
-		if ok {
-			hi = mid
-		} else {
-			lo = mid
-		}
-	}
-	return hi, nil
+// time 1/fTarget, using a zero-value Runner.  See Runner.MinSupply for
+// the search and cancellation semantics.
+func MinSupply(ctx context.Context, d *sheet.Design, fTarget, lo, hi float64) (float64, error) {
+	return (&Runner{}).MinSupply(ctx, d, fTarget, lo, hi)
 }
 
 // SupplySavings reports the power saved by running a design at the
@@ -196,24 +150,10 @@ func (s SupplySavings) Saving() float64 {
 	return 1 - s.MinPower/s.NominalPower
 }
 
-// VoltageScale computes the classic voltage-scaling exploration: find
-// the minimum supply meeting fTarget within [lo, nominal] and compare
-// power against running at the nominal supply.
-func VoltageScale(d *sheet.Design, fTarget, lo, nominal float64) (SupplySavings, error) {
-	min, err := MinSupply(d, fTarget, lo, nominal)
-	if err != nil {
-		return SupplySavings{}, err
-	}
-	rNom, err := d.EvaluateAt(map[string]float64{"vdd": nominal})
-	if err != nil {
-		return SupplySavings{}, err
-	}
-	rMin, err := d.EvaluateAt(map[string]float64{"vdd": min})
-	if err != nil {
-		return SupplySavings{}, err
-	}
-	return SupplySavings{
-		NominalVDD: nominal, MinVDD: min,
-		NominalPower: float64(rNom.Power), MinPower: float64(rMin.Power),
-	}, nil
+// VoltageScale computes the classic voltage-scaling exploration —
+// find the minimum supply meeting fTarget within [lo, nominal] and
+// compare power against running at the nominal supply — using a
+// zero-value Runner.  See Runner.VoltageScale.
+func VoltageScale(ctx context.Context, d *sheet.Design, fTarget, lo, nominal float64) (SupplySavings, error) {
+	return (&Runner{}).VoltageScale(ctx, d, fTarget, lo, nominal)
 }

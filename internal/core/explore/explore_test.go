@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -73,7 +74,7 @@ func TestGeomspace(t *testing.T) {
 
 func TestSweepQuadraticPower(t *testing.T) {
 	d := testDesign(t)
-	pts, err := Sweep(d, "vdd", []float64{1.5, 3.0})
+	pts, err := Sweep(context.Background(), d, "vdd", []float64{1.5, 3.0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,14 +91,14 @@ func TestSweepQuadraticPower(t *testing.T) {
 		t.Error("Vars should carry the overrides")
 	}
 	// Errors propagate with the point identified.
-	if _, err := Sweep(d, "vdd", []float64{-1}); err == nil {
+	if _, err := Sweep(context.Background(), d, "vdd", []float64{-1}); err == nil {
 		t.Error("invalid supply should fail")
 	}
 }
 
 func TestSweep2D(t *testing.T) {
 	d := testDesign(t)
-	pts, err := Sweep2D(d, "vdd", []float64{1.5, 3}, "f", []float64{1e6, 2e6})
+	pts, err := Sweep2D(context.Background(), d, "vdd", []float64{1.5, 3}, "f", []float64{1e6, 2e6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestQuickSweepIsFrontier(t *testing.T) {
 	d := testDesign(t)
 	f := func(raw uint8) bool {
 		n := int(raw%6) + 2
-		pts, err := Sweep(d, "vdd", Linspace(1.0, 3.3, n))
+		pts, err := Sweep(context.Background(), d, "vdd", Linspace(1.0, 3.3, n))
 		if err != nil {
 			return false
 		}
@@ -150,7 +151,7 @@ func TestMinSupply(t *testing.T) {
 	d := testDesign(t)
 	// At 1.5 V the cell runs at 20 ns (50 MHz).  Ask for something
 	// slower: the minimum supply must drop below 1.5 V.
-	v, err := MinSupply(d, 20e6, 0.9, 3.3)
+	v, err := MinSupply(context.Background(), d, 20e6, 0.9, 3.3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,26 +168,26 @@ func TestMinSupply(t *testing.T) {
 		t.Error("MinSupply not tight")
 	}
 	// Unreachable target.
-	if _, err := MinSupply(d, 10e9, 0.9, 3.3); err == nil {
+	if _, err := MinSupply(context.Background(), d, 10e9, 0.9, 3.3); err == nil {
 		t.Error("10GHz should be unreachable")
 	}
 	// lo already meets the target.
-	v, err = MinSupply(d, 1e3, 0.9, 3.3)
+	v, err = MinSupply(context.Background(), d, 1e3, 0.9, 3.3)
 	if err != nil || v != 0.9 {
 		t.Errorf("easy target: %v, %v", v, err)
 	}
 	// Bad arguments.
-	if _, err := MinSupply(d, 1e6, 3, 1); err == nil {
+	if _, err := MinSupply(context.Background(), d, 1e6, 3, 1); err == nil {
 		t.Error("inverted range should fail")
 	}
-	if _, err := MinSupply(d, 0, 1, 3); err == nil {
+	if _, err := MinSupply(context.Background(), d, 0, 1, 3); err == nil {
 		t.Error("zero target should fail")
 	}
 }
 
 func TestVoltageScale(t *testing.T) {
 	d := testDesign(t)
-	s, err := VoltageScale(d, 20e6, 0.9, 3.3)
+	s, err := VoltageScale(context.Background(), d, 20e6, 0.9, 3.3)
 	if err != nil {
 		t.Fatal(err)
 	}

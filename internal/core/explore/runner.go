@@ -1,0 +1,302 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"powerplay/internal/core/sheet"
+)
+
+// Runner is the parallel exploration engine: it fans design points out
+// across a pool of worker goroutines, each evaluating against its own
+// snapshot of the design, and reassembles the results in input order.
+//
+// The zero value is ready to use and is what the package-level Sweep,
+// Sweep2D, MinSupply and VoltageScale delegate to.
+//
+// # Concurrency contract
+//
+// Each worker evaluates a private sheet.Design.Clone of the design, so
+// a running sweep never races with the caller — the caller may even
+// mutate the original design while a sweep is in flight and the sweep
+// still sees a consistent snapshot taken when its worker started.  One
+// Runner may serve any number of concurrent calls; it holds no mutable
+// state of its own beyond the optional Cache, which is internally
+// locked.
+//
+// Cancellation: every method takes a context.Context and stops promptly
+// — no later than the next point boundary — when the context is
+// canceled or its deadline passes, returning an error that wraps
+// ctx.Err() (so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) work).  Points already
+// evaluated are discarded; partial sweeps are never returned.
+//
+// Determinism: results are ordered by input position regardless of
+// worker count or scheduling, and a failing sweep always reports the
+// error of the lowest-indexed failing point, so serial and parallel
+// runs are observably identical apart from wall-clock time.
+type Runner struct {
+	// Workers caps the number of concurrent evaluation goroutines.
+	// Zero or negative selects runtime.GOMAXPROCS(0).  A sweep never
+	// uses more workers than it has points; Workers == 1 evaluates
+	// serially on the caller's design without cloning.
+	Workers int
+
+	// Cache, when non-nil, memoizes evaluated points by override
+	// vector (see Cache for the validity rules).  All workers share
+	// it, so a 2-D sweep that revisits a column and a repeated web
+	// request both hit memoized points.
+	Cache *Cache
+}
+
+// workers resolves the effective pool size for n points.
+func (r *Runner) workers(n int) int {
+	w := r.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Sweep evaluates the design across values of one variable, in order.
+// See the Runner type documentation for the concurrency, cancellation
+// and determinism guarantees.
+func (r *Runner) Sweep(ctx context.Context, d *sheet.Design, name string, values []float64) ([]Point, error) {
+	overrides := make([]map[string]float64, len(values))
+	for i, v := range values {
+		overrides[i] = map[string]float64{name: v}
+	}
+	return r.run(ctx, d, overrides)
+}
+
+// Sweep2D evaluates the cross product of two variables, row-major in
+// the first variable (the same ordering the serial implementation
+// produced).  See the Runner type documentation for the concurrency,
+// cancellation and determinism guarantees.
+func (r *Runner) Sweep2D(ctx context.Context, d *sheet.Design, n1 string, v1 []float64, n2 string, v2 []float64) ([]Point, error) {
+	overrides := make([]map[string]float64, 0, len(v1)*len(v2))
+	for _, a := range v1 {
+		for _, b := range v2 {
+			overrides = append(overrides, map[string]float64{n1: a, n2: b})
+		}
+	}
+	return r.run(ctx, d, overrides)
+}
+
+// MinSupply finds, by bisection, the lowest supply voltage in [lo, hi]
+// at which the design's critical path still meets the cycle time
+// 1/fTarget.  It relies on delay decreasing monotonically with supply
+// (the alpha-power law all library delays follow).  It returns an
+// error if even hi misses the target, if the design fails to evaluate,
+// or if ctx is canceled mid-search.
+//
+// Bisection is inherently sequential, so MinSupply never parallelizes;
+// it still honors ctx at every probe and shares the Runner's Cache, so
+// repeated searches (the web analysis page, ArchScale's per-lane
+// loops) hit memoized operating points.
+func (r *Runner) MinSupply(ctx context.Context, d *sheet.Design, fTarget, lo, hi float64) (float64, error) {
+	if !(lo > 0 && hi > lo) {
+		return 0, fmt.Errorf("explore: bad supply range [%g, %g]", lo, hi)
+	}
+	if fTarget <= 0 {
+		return 0, fmt.Errorf("explore: bad frequency target %g", fTarget)
+	}
+	target := 1 / fTarget
+	meets := func(vdd float64) (bool, error) {
+		p, err := r.point(ctx, d, map[string]float64{"vdd": vdd})
+		if err != nil {
+			return false, err
+		}
+		return p.Delay <= target, nil
+	}
+	ok, err := meets(hi)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("explore: target %g Hz unreachable even at %g V", fTarget, hi)
+	}
+	if ok, err := meets(lo); err != nil {
+		return 0, err
+	} else if ok {
+		return lo, nil
+	}
+	for i := 0; i < 60 && hi-lo > 1e-4; i++ {
+		mid := (lo + hi) / 2
+		ok, err := meets(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// VoltageScale computes the classic voltage-scaling exploration: find
+// the minimum supply meeting fTarget within [lo, nominal] and compare
+// power against running at the nominal supply.  It honors ctx at every
+// evaluation and shares the Runner's Cache.
+func (r *Runner) VoltageScale(ctx context.Context, d *sheet.Design, fTarget, lo, nominal float64) (SupplySavings, error) {
+	min, err := r.MinSupply(ctx, d, fTarget, lo, nominal)
+	if err != nil {
+		return SupplySavings{}, err
+	}
+	pNom, err := r.point(ctx, d, map[string]float64{"vdd": nominal})
+	if err != nil {
+		return SupplySavings{}, err
+	}
+	pMin, err := r.point(ctx, d, map[string]float64{"vdd": min})
+	if err != nil {
+		return SupplySavings{}, err
+	}
+	return SupplySavings{
+		NominalVDD: nominal, MinVDD: min,
+		NominalPower: pNom.Power, MinPower: pMin.Power,
+	}, nil
+}
+
+// run evaluates one point per override map against d, preserving input
+// order in the returned slice.
+func (r *Runner) run(ctx context.Context, d *sheet.Design, overrides []map[string]float64) ([]Point, error) {
+	out := make([]Point, len(overrides))
+	if w := r.workers(len(overrides)); w > 1 {
+		if err := r.runParallel(ctx, d, overrides, out, w); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	// Serial fast path: evaluate on the caller's design, no clone.
+	for i, ov := range overrides {
+		p, err := r.point(ctx, d, ov)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// runParallel fans the points out over w workers, each evaluating its
+// own clone of d.  Result slots are pre-assigned by index, so no two
+// goroutines ever write the same element and the output order matches
+// the input regardless of scheduling.
+func (r *Runner) runParallel(parent context.Context, d *sheet.Design, overrides []map[string]float64, out []Point, w int) error {
+	// The internal context stops the index feed once any point fails;
+	// workers evaluate the point they already hold under the PARENT
+	// context.  That distinction is what makes error reporting
+	// deterministic: indices are handed out in order, so when point k
+	// fails, every lower index is already held by some worker and gets
+	// fully evaluated — the lowest-indexed failure is always observed,
+	// exactly as a serial run would report it.
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := range overrides {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		errIdx   = -1
+	)
+	var wg sync.WaitGroup
+	for n := 0; n < w; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One snapshot per worker: cloning is O(rows), evaluation
+			// is O(rows × points/worker), so the clone amortizes away
+			// while guaranteeing race freedom against the caller.
+			snap := d.Clone()
+			for i := range idx {
+				p, err := r.point(parent, snap, overrides[i])
+				if err != nil {
+					mu.Lock()
+					// Keep the lowest-indexed failure so parallel runs
+					// report the same error a serial run would.
+					if errIdx == -1 || i < errIdx {
+						firstErr, errIdx = err, i
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+				out[i] = p
+			}
+		}()
+	}
+	wg.Wait()
+
+	// A cancellation raced with a point failure: the parent's error
+	// wins only when no point actually failed.
+	if err := parent.Err(); err != nil && firstErr == nil {
+		return fmt.Errorf("explore: sweep interrupted: %w", err)
+	}
+	return firstErr
+}
+
+// point evaluates (or recalls from cache) a single override vector.
+// It checks ctx before doing any work, so a canceled sweep stops at
+// the next point boundary.
+func (r *Runner) point(ctx context.Context, d *sheet.Design, overrides map[string]float64) (Point, error) {
+	if err := ctx.Err(); err != nil {
+		return Point{}, fmt.Errorf("explore: sweep interrupted: %w", err)
+	}
+	var key string
+	if r.Cache != nil {
+		key = Key(overrides)
+		if rec, ok := r.Cache.lookup(key); ok {
+			return Point{Vars: overrides, Power: rec.power, Area: rec.area, Delay: rec.delay}, nil
+		}
+	}
+	res, err := d.EvaluateAt(overrides)
+	if err != nil {
+		return Point{}, fmt.Errorf("explore: %s: %w", overridesLabel(overrides), err)
+	}
+	p := Point{
+		Vars:  overrides,
+		Power: float64(res.Power), Area: float64(res.Area), Delay: float64(res.Delay),
+	}
+	if r.Cache != nil {
+		r.Cache.store(cacheRecord{key: key, power: p.Power, area: p.Area, delay: p.Delay})
+	}
+	return p, nil
+}
+
+// overridesLabel renders an override vector for error messages
+// ("vdd=1.5 f=2e+06"), names sorted for determinism.
+func overridesLabel(overrides map[string]float64) string {
+	names := make([]string, 0, len(overrides))
+	for n := range overrides {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s=%g", n, overrides[n])
+	}
+	return strings.Join(parts, " ")
+}

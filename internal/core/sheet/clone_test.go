@@ -1,0 +1,152 @@
+package sheet
+
+import (
+	"sync"
+	"testing"
+
+	"powerplay/internal/core/model"
+	"powerplay/internal/units"
+)
+
+// cloneTestDesign builds a two-level design exercising everything Clone
+// must copy: globals, params, expressions over globals, an inter-row
+// power() reference, and a chain-composed group.
+func cloneTestDesign(t *testing.T) *Design {
+	t.Helper()
+	reg := model.NewRegistry()
+	reg.MustRegister(&model.Func{
+		Meta: model.Info{
+			Name: "cell", Title: "t", Class: model.Computation, Doc: "d",
+			Params: model.WithStd(model.Param{Name: "bits", Doc: "width", Default: 8}),
+		},
+		Fn: func(p model.Params) (*model.Estimate, error) {
+			e := &model.Estimate{VDD: p.VDD()}
+			e.AddCap("c", units.Farads(p.Get("bits", 8))*units.PicoFarad, p.Freq())
+			e.Delay = units.Seconds(10e-9 * model.DelayScale(float64(p.VDD())))
+			e.Area = 1e-9
+			return e, nil
+		},
+	})
+	d := NewDesign("orig", reg)
+	d.Root.SetGlobalValue("vdd", 1.5, "1.5")
+	d.Root.SetGlobalValue("f", 2e6, "2MHz")
+	grp := d.Root.MustAddChild("dp", "")
+	grp.Delay = ComposeChain
+	a := grp.MustAddChild("a", "cell")
+	if err := a.SetParam("bits", "16"); err != nil {
+		t.Fatal(err)
+	}
+	b := grp.MustAddChild("b", "cell")
+	if err := b.SetParam("bits", "power(\"a\")*1e6"); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestCloneEvaluatesIdentically(t *testing.T) {
+	d := cloneTestDesign(t)
+	want, err := d.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.Clone()
+	got, err := c.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Power != want.Power || got.Area != want.Area || got.Delay != want.Delay {
+		t.Errorf("clone totals %v/%v/%v != %v/%v/%v",
+			got.Power, got.Area, got.Delay, want.Power, want.Area, want.Delay)
+	}
+	if c.Name != d.Name || c.Registry != d.Registry {
+		t.Error("clone should keep the name and share the registry")
+	}
+	// Structure is copied, not aliased.
+	if c.Root == d.Root || c.Root.Child("dp") == d.Root.Child("dp") {
+		t.Error("clone shares nodes with the original")
+	}
+	if p := c.Root.Child("dp").Child("a").Parent(); p == nil || p != c.Root.Child("dp") {
+		t.Error("clone parent pointers not rewired")
+	}
+	if c.Root.Child("dp").Delay != ComposeChain {
+		t.Error("compose mode lost")
+	}
+}
+
+// TestCloneIsolation: edits to either tree never show through to the
+// other — the property that makes a clone a true snapshot.
+func TestCloneIsolation(t *testing.T) {
+	d := cloneTestDesign(t)
+	before, err := d.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.Clone()
+	// Mutate the clone heavily: rebind, add, remove.
+	c.Root.SetGlobalValue("vdd", 3.3, "3.3")
+	if err := c.Root.Child("dp").Child("a").SetParam("bits", "64"); err != nil {
+		t.Fatal(err)
+	}
+	c.Root.MustAddChild("extra", "cell")
+	c.Root.Child("dp").RemoveChild("b")
+	after, err := d.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Power != before.Power || len(d.Root.Children) != 1 {
+		t.Error("mutating the clone changed the original")
+	}
+	if d.Root.Child("dp").Child("b") == nil {
+		t.Error("original lost a row")
+	}
+	// And the other direction: mutate the original, re-check the clone.
+	c2 := d.Clone()
+	wantClone, err := c2.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Root.SetGlobalValue("f", 40e6, "40MHz")
+	gotClone, err := c2.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotClone.Power != wantClone.Power {
+		t.Error("mutating the original changed the clone")
+	}
+}
+
+// TestCloneConcurrentEvaluation is the sheet-level half of the race
+// regression suite: many goroutines evaluate clones (and the original)
+// while nothing mutates — run under -race via make race.
+func TestCloneConcurrentEvaluation(t *testing.T) {
+	d := cloneTestDesign(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		vdd := 1.0 + float64(i)*0.2
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			snap := d.Clone()
+			if _, err := snap.EvaluateAt(map[string]float64{"vdd": vdd}); err != nil {
+				t.Error(err)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Concurrent EvaluateAt on the SHARED design is part of the
+			// contract too, as long as nobody mutates it.
+			if _, err := d.EvaluateAt(map[string]float64{"vdd": vdd}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestCloneNil(t *testing.T) {
+	var d *Design
+	if d.Clone() != nil {
+		t.Error("nil design should clone to nil")
+	}
+}

@@ -83,6 +83,13 @@ func (d *Design) Evaluate() (*Result, error) {
 // EvaluateAt computes the design with temporary overrides applied to
 // the root globals — the parameter-sweep entry point.  The design is
 // not mutated.
+//
+// Concurrency: all evaluation state lives in a per-call evaluator, so
+// concurrent EvaluateAt (and Evaluate) calls on one Design are safe as
+// long as no goroutine mutates the design tree while they run.  Code
+// that cannot rule out concurrent edits (the web handlers) should
+// evaluate a Clone instead; see Clone and DESIGN.md's "Concurrent
+// exploration" section for the full contract.
 func (d *Design) EvaluateAt(overrides map[string]float64) (*Result, error) {
 	ev := &evaluator{
 		design:    d,

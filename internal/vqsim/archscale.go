@@ -1,6 +1,7 @@
 package vqsim
 
 import (
+	"context"
 	"fmt"
 
 	"powerplay/internal/core/explore"
@@ -96,7 +97,7 @@ type ArchPoint struct {
 // ArchScale runs the study: for each parallelism degree, find the
 // minimum supply at which every module meets the per-lane clock
 // fs/lanes, and report power and area there.
-func ArchScale(reg *model.Registry, sampleRate float64, lanes []int) ([]ArchPoint, error) {
+func ArchScale(ctx context.Context, reg *model.Registry, sampleRate float64, lanes []int) ([]ArchPoint, error) {
 	var out []ArchPoint
 	for _, n := range lanes {
 		d, err := MACDesign(reg, n, sampleRate)
@@ -104,7 +105,7 @@ func ArchScale(reg *model.Registry, sampleRate float64, lanes []int) ([]ArchPoin
 			return nil, err
 		}
 		perLane := sampleRate / float64(n)
-		vdd, err := explore.MinSupply(d, perLane, 0.8, 3.3)
+		vdd, err := explore.MinSupply(ctx, d, perLane, 0.8, 3.3)
 		if err != nil {
 			return nil, fmt.Errorf("vqsim: %d lanes: %w", n, err)
 		}

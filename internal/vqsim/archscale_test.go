@@ -1,6 +1,7 @@
 package vqsim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -47,7 +48,7 @@ func TestArchScaleShape(t *testing.T) {
 	// voltage reduction, and power drops despite the extra hardware —
 	// with diminishing returns as VDD approaches threshold.
 	reg := library.Standard()
-	pts, err := ArchScale(reg, 20e6, []int{1, 2, 4, 8})
+	pts, err := ArchScale(context.Background(), reg, 20e6, []int{1, 2, 4, 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestArchScaleShape(t *testing.T) {
 func TestArchScaleUnreachable(t *testing.T) {
 	reg := library.Standard()
 	// 10 GHz per lane is beyond the library even at 3.3 V.
-	if _, err := ArchScale(reg, 10e9, []int{1}); err == nil {
+	if _, err := ArchScale(context.Background(), reg, 10e9, []int{1}); err == nil {
 		t.Error("unreachable throughput should fail")
 	}
 }

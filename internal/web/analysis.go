@@ -40,16 +40,24 @@ func (s *Server) handleDesignAnalysis(w http.ResponseWriter, r *http.Request, u 
 		http.NotFound(w, r)
 		return
 	}
+	// Snapshot under the read lock, evaluate outside it: the analysis
+	// of a large sheet must not hold up (or race with) concurrent
+	// edits.  Evaluation of a single point is not interruptible, so
+	// the request context is honored at the boundaries.
 	s.mu.RLock()
-	res, err := d.Evaluate()
+	snap := d.Clone()
 	var fClock float64
-	if g := d.Root.Global("f"); g != nil {
+	if g := snap.Root.Global("f"); g != nil {
 		if v, ok := g.Const(); ok {
 			fClock = v
 		}
 	}
 	s.mu.RUnlock()
 	page := analysisPage{base: s.base(d.Name + " analysis"), Name: d.Name}
+	if err := r.Context().Err(); err != nil {
+		return // client already gone
+	}
+	res, err := snap.Evaluate()
 	if err != nil {
 		page.Error = err.Error()
 		w.WriteHeader(http.StatusUnprocessableEntity)

@@ -26,12 +26,15 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 
+	"powerplay/internal/core/explore"
 	"powerplay/internal/core/model"
 	"powerplay/internal/core/sheet"
 	"powerplay/internal/library"
@@ -69,6 +72,21 @@ type Server struct {
 	mu       sync.RWMutex
 	sessions map[string]string // token -> user name
 	users    map[string]*User
+
+	// sweepCaches memoizes exploration points per (user, design)
+	// snapshot, so repeated sweep requests re-use already-priced
+	// operating points.  Guarded by its own mutex: cache bookkeeping
+	// must not serialize behind design edits holding mu.
+	sweepMu     sync.Mutex
+	sweepCaches map[string]sweepCacheEntry
+}
+
+// sweepCacheEntry ties a point cache to the design snapshot it was
+// filled from.  The epoch is a hash of the serialized design; any edit
+// changes it and retires the cache (see explore.Cache's validity rule).
+type sweepCacheEntry struct {
+	epoch string
+	cache *explore.Cache
 }
 
 // NewServer builds a site over a model registry (usually
@@ -79,10 +97,11 @@ func NewServer(cfg Config, reg *model.Registry) (*Server, error) {
 		cfg.SiteName = "PowerPlay"
 	}
 	s := &Server{
-		cfg:      cfg,
-		registry: reg,
-		sessions: make(map[string]string),
-		users:    make(map[string]*User),
+		cfg:         cfg,
+		registry:    reg,
+		sessions:    make(map[string]string),
+		users:       make(map[string]*User),
+		sweepCaches: make(map[string]sweepCacheEntry),
 	}
 	if cfg.DataDir != "" {
 		if err := s.loadState(); err != nil {
@@ -94,6 +113,35 @@ func NewServer(cfg Config, reg *model.Registry) (*Server, error) {
 
 // Registry exposes the site's model namespace.
 func (s *Server) Registry() *model.Registry { return s.registry }
+
+// designEpoch fingerprints a design's full contents — structure AND
+// cell expressions — for sweep-cache invalidation.  Callers must hold
+// s.mu (read or write) so the serialization sees a consistent sheet.
+func designEpoch(d *sheet.Design) string {
+	blob, err := d.MarshalJSON()
+	if err != nil {
+		// Unserializable designs don't cache; a unique epoch per call
+		// keeps them correct (always-fresh) rather than wrong.
+		return fmt.Sprintf("err:%p:%v", d, err)
+	}
+	h := fnv.New64a()
+	h.Write(blob)
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// sweepCacheFor returns the evaluation cache for one user's design at
+// the given epoch, retiring any cache filled from an older snapshot.
+func (s *Server) sweepCacheFor(user, design, epoch string) *explore.Cache {
+	key := user + "/" + design
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	e, ok := s.sweepCaches[key]
+	if !ok || e.epoch != epoch {
+		e = sweepCacheEntry{epoch: epoch, cache: explore.NewCache(0)}
+		s.sweepCaches[key] = e
+	}
+	return e.cache
+}
 
 // InstallDesign places a design under a user's account (creating the
 // account if needed) and persists it: how seeded demos and programmatic

@@ -1,10 +1,13 @@
 package web
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"powerplay/internal/core/explore"
 	"powerplay/internal/core/sheet"
@@ -15,6 +18,20 @@ import (
 // variations (such as supply voltage and clock frequency)" as a form —
 // pick a variable and a range, get the swept table with the Pareto-
 // optimal rows marked.
+//
+// Evaluation runs through the parallel exploration engine on a clone
+// of the design, so a long sweep never blocks (or races with) sheet
+// edits, and through a per-design point cache, so refreshing the page
+// or narrowing the range re-uses every point already priced.  The
+// request context bounds the run: closing the browser tab cancels the
+// sweep mid-flight, and sweepTimeout caps how long a pathological
+// range may hold a worker pool.
+
+// sweepTimeout bounds one sweep request.  The UI caps ranges at 200
+// steps and a step evaluates in microseconds, so a healthy sweep ends
+// ~6 orders of magnitude sooner; hitting this means a remote model is
+// stalling, and the user gets told instead of a hung page.
+const sweepTimeout = 30 * time.Second
 
 type sweepPage struct {
 	base
@@ -51,26 +68,28 @@ func (s *Server) handleDesignSweep(w http.ResponseWriter, r *http.Request, u *Us
 	if page.Var == "" {
 		page.Var, page.From, page.To, page.Steps = "vdd", "1.0", "3.3", "8"
 	}
-	fail := func(msg string) {
+	fail := func(status int, msg string) {
 		page.Error = msg
-		w.WriteHeader(http.StatusBadRequest)
+		w.WriteHeader(status)
 		s.render(w, "sweep", page)
 	}
 	from, err := units.Parse(page.From)
 	if err != nil {
-		fail("from: " + err.Error())
+		fail(http.StatusBadRequest, "from: "+err.Error())
 		return
 	}
 	to, err := units.Parse(page.To)
 	if err != nil {
-		fail("to: " + err.Error())
+		fail(http.StatusBadRequest, "to: "+err.Error())
 		return
 	}
 	steps, err := strconv.Atoi(page.Steps)
 	if err != nil || steps < 2 || steps > 200 {
-		fail("steps must be an integer in [2, 200]")
+		fail(http.StatusBadRequest, "steps must be an integer in [2, 200]")
 		return
 	}
+	// Snapshot under the read lock: the sweep itself runs on the clone,
+	// so concurrent sheet edits neither block behind it nor race it.
 	s.mu.RLock()
 	// The variable must exist somewhere in the sheet (overriding an
 	// unknown name would sweep nothing and silently plot a flat line).
@@ -82,13 +101,30 @@ func (s *Server) handleDesignSweep(w http.ResponseWriter, r *http.Request, u *Us
 	})
 	if !known {
 		s.mu.RUnlock()
-		fail(fmt.Sprintf("no variable %q in this design", page.Var))
+		fail(http.StatusBadRequest, fmt.Sprintf("no variable %q in this design", page.Var))
 		return
 	}
-	pts, err := explore.Sweep(d, page.Var, explore.Linspace(from, to, steps))
+	snap := d.Clone()
+	cache := s.sweepCacheFor(u.Name, d.Name, designEpoch(d))
 	s.mu.RUnlock()
+
+	ctx, cancel := context.WithTimeout(r.Context(), sweepTimeout)
+	defer cancel()
+	runner := &explore.Runner{Cache: cache}
+	pts, err := runner.Sweep(ctx, snap, page.Var, explore.Linspace(from, to, steps))
 	if err != nil {
-		fail(err.Error())
+		switch {
+		case errors.Is(err, context.Canceled):
+			// The client went away; nobody is left to render for.
+			return
+		case errors.Is(err, context.DeadlineExceeded):
+			fail(http.StatusServiceUnavailable,
+				fmt.Sprintf("sweep timed out after %s — a model is stalling; try fewer steps", sweepTimeout))
+		default:
+			// An evaluation failure names the offending point and row;
+			// surface it instead of an empty table.
+			fail(http.StatusUnprocessableEntity, err.Error())
+		}
 		return
 	}
 	front := explore.Pareto(pts)

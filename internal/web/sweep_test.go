@@ -1,10 +1,14 @@
 package web
 
 import (
+	"context"
 	"net/http"
+	"net/http/httptest"
 	"net/url"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"powerplay/internal/library"
 )
@@ -63,4 +67,130 @@ func TestSweepPage(t *testing.T) {
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("missing design: %d", resp.StatusCode)
 	}
+}
+
+// sweepSite builds a logged-in site with one SRAM design named "d".
+func sweepSite(t *testing.T) (*Server, *httptest.Server, *http.Client) {
+	t.Helper()
+	s, ts, c := site(t, Config{})
+	loginAs(t, ts, c, "u", "")
+	post(t, c, ts.URL+"/designs", url.Values{"name": {"d"}})
+	post(t, c, ts.URL+"/cell/"+library.SRAM, url.Values{
+		"p_words": {"1024"}, "p_bits": {"8"},
+		"action": {"Add to design"}, "design": {"d"}, "row": {"mem"},
+	})
+	return s, ts, c
+}
+
+// TestSweepEvalErrorReported: a range that fails model validation must
+// surface the evaluation error to the user — not a silent empty table.
+func TestSweepEvalErrorReported(t *testing.T) {
+	_, ts, c := sweepSite(t)
+	code, body := fetch(t, c, ts.URL+"/design/d/sweep?var=vdd&from=0.1&to=0.3&steps=3")
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("eval failure status = %d, want 422", code)
+	}
+	// The message names the offending point and row.
+	if !strings.Contains(body, "outside") || !strings.Contains(body, "mem") {
+		t.Errorf("error not surfaced:\n%s", grep(body, "outside"))
+	}
+	if strings.Count(body, "<tr>") > 1 {
+		t.Error("failed sweep should not render result rows")
+	}
+}
+
+// TestSweepDeadlineReported: an expired request context renders a
+// timeout message with 503 instead of hanging or showing an empty
+// table.
+func TestSweepDeadlineReported(t *testing.T) {
+	s, _, _ := sweepSite(t)
+	u := s.users["u"]
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	r := httptest.NewRequest("GET", "/design/d/sweep?var=vdd&from=1.0&to=3.3&steps=8", nil).WithContext(ctx)
+	r.SetPathValue("name", "d")
+	w := httptest.NewRecorder()
+	s.handleDesignSweep(w, r, u)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("deadline status = %d, want 503", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "timed out") {
+		t.Errorf("timeout not surfaced:\n%s", grep(w.Body.String(), "timed"))
+	}
+}
+
+// TestSweepCacheReuseAndInvalidation: a repeated sweep hits the
+// memoized points; editing the design retires the cache.
+func TestSweepCacheReuseAndInvalidation(t *testing.T) {
+	s, ts, c := sweepSite(t)
+	url1 := ts.URL + "/design/d/sweep?var=vdd&from=1.0&to=3.3&steps=8"
+	if code, _ := fetch(t, c, url1); code != 200 {
+		t.Fatalf("first sweep: %d", code)
+	}
+	s.sweepMu.Lock()
+	cache := s.sweepCaches["u/d"].cache
+	s.sweepMu.Unlock()
+	if cache == nil || cache.Len() != 8 {
+		t.Fatalf("cold sweep should fill the cache: %v", cache)
+	}
+	if code, _ := fetch(t, c, url1); code != 200 {
+		t.Fatalf("second sweep: %d", code)
+	}
+	if hits, _ := cache.Stats(); hits != 8 {
+		t.Errorf("repeat sweep hits = %d, want 8", hits)
+	}
+	// A narrower range re-uses the overlapping endpoints too.
+	if code, _ := fetch(t, c, ts.URL+"/design/d/sweep?var=vdd&from=1.0&to=3.3&steps=2"); code != 200 {
+		t.Fatal("narrow sweep failed")
+	}
+	if hits, _ := cache.Stats(); hits != 10 {
+		t.Errorf("endpoint re-use hits = %d, want 10", hits)
+	}
+	// Editing the design must retire the cache: same range, new points.
+	post(t, c, ts.URL+"/design/d/play", url.Values{"glob_vdd": {"1.8"}})
+	if code, _ := fetch(t, c, url1); code != 200 {
+		t.Fatal("post-edit sweep failed")
+	}
+	s.sweepMu.Lock()
+	fresh := s.sweepCaches["u/d"].cache
+	s.sweepMu.Unlock()
+	if fresh == cache {
+		t.Error("design edit did not retire the sweep cache")
+	}
+}
+
+// TestSweepConcurrentWithEdits overlaps sweep requests with sheet
+// edits through the real HTTP stack — the web-layer race regression
+// (run under -race via make race).
+func TestSweepConcurrentWithEdits(t *testing.T) {
+	_, ts, c := sweepSite(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 3; j++ {
+				resp, err := c.Get(ts.URL + "/design/d/sweep?var=vdd&from=1.0&to=3.3&steps=16")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("concurrent sweep: %d", resp.StatusCode)
+				}
+			}
+		}()
+		wg.Add(1)
+		go func(vdd string) {
+			defer wg.Done()
+			resp, err := c.PostForm(ts.URL+"/design/d/play", url.Values{"glob_vdd": {vdd}})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+		}("1." + string(rune('1'+i)))
+	}
+	wg.Wait()
 }

@@ -35,6 +35,7 @@
 package powerplay
 
 import (
+	"context"
 	"io"
 
 	"powerplay/internal/activity"
@@ -198,6 +199,13 @@ func MeasureSorts(data []int64, table *EnergyTable, cache CacheConfig) ([]SortEn
 type (
 	// ExplorePoint is one evaluated point of a sweep.
 	ExplorePoint = explore.Point
+	// ExploreRunner is the parallel exploration engine: a worker pool
+	// that fans sweep points out over per-worker design snapshots.
+	// See explore.Runner for the full concurrency contract.
+	ExploreRunner = explore.Runner
+	// ExploreCache memoizes evaluated points by override vector; see
+	// explore.Cache for the validity rules.
+	ExploreCache = explore.Cache
 	// SupplySavings reports a voltage-scaling result.
 	SupplySavings = explore.SupplySavings
 	// SignalStats is a word-level signal description for the
@@ -209,9 +217,24 @@ type (
 	TimingRow = sheet.TimingRow
 )
 
-// Sweep evaluates the design across values of one variable.
-func Sweep(d *Design, name string, values []float64) ([]ExplorePoint, error) {
-	return explore.Sweep(d, name, values)
+// NewExploreCache returns an evaluation cache for exploration runs;
+// limit <= 0 selects the default size.  A cache is valid for a single
+// design snapshot — drop it when the design is edited.
+func NewExploreCache(limit int) *ExploreCache { return explore.NewCache(limit) }
+
+// Sweep evaluates the design across values of one variable, in
+// parallel across GOMAXPROCS workers with deterministic result order.
+// The context cancels or bounds the run; use an ExploreRunner to
+// control the worker count or attach an ExploreCache.
+func Sweep(ctx context.Context, d *Design, name string, values []float64) ([]ExplorePoint, error) {
+	return explore.Sweep(ctx, d, name, values)
+}
+
+// Sweep2D evaluates the cross product of two variables, row-major in
+// the first, with the same parallelism and cancellation semantics as
+// Sweep.
+func Sweep2D(ctx context.Context, d *Design, n1 string, v1 []float64, n2 string, v2 []float64) ([]ExplorePoint, error) {
+	return explore.Sweep2D(ctx, d, n1, v1, n2, v2)
 }
 
 // Pareto extracts the power/delay non-dominated subset of a sweep.
@@ -221,15 +244,16 @@ func Pareto(points []ExplorePoint) []ExplorePoint { return explore.Pareto(points
 func Linspace(lo, hi float64, n int) []float64 { return explore.Linspace(lo, hi, n) }
 
 // MinSupply finds the lowest supply at which the design still meets a
-// clock target.
-func MinSupply(d *Design, fTarget, lo, hi float64) (float64, error) {
-	return explore.MinSupply(d, fTarget, lo, hi)
+// clock target.  The context cancels or bounds the search.
+func MinSupply(ctx context.Context, d *Design, fTarget, lo, hi float64) (float64, error) {
+	return explore.MinSupply(ctx, d, fTarget, lo, hi)
 }
 
 // VoltageScale compares running at the minimum frequency-meeting
-// supply against a nominal supply.
-func VoltageScale(d *Design, fTarget, lo, nominal float64) (SupplySavings, error) {
-	return explore.VoltageScale(d, fTarget, lo, nominal)
+// supply against a nominal supply.  The context cancels or bounds the
+// underlying search.
+func VoltageScale(ctx context.Context, d *Design, fTarget, lo, nominal float64) (SupplySavings, error) {
+	return explore.VoltageScale(ctx, d, fTarget, lo, nominal)
 }
 
 // Advice ranks every model row of an evaluated design by power.
@@ -248,8 +272,8 @@ func MACDesign(reg *Registry, lanes int, sampleRate float64) (*Design, error) {
 // ArchScale runs the architecture-driven voltage scaling study: for
 // each parallelism degree, the minimum supply meeting the per-lane
 // clock and the resulting power and area.
-func ArchScale(reg *Registry, sampleRate float64, lanes []int) ([]ArchPoint, error) {
-	return vqsim.ArchScale(reg, sampleRate, lanes)
+func ArchScale(ctx context.Context, reg *Registry, sampleRate float64, lanes []int) ([]ArchPoint, error) {
+	return vqsim.ArchScale(ctx, reg, sampleRate, lanes)
 }
 
 // TimingReport checks every model row against a clock target in hertz.
