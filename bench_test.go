@@ -192,6 +192,93 @@ func BenchmarkParameterSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkCompiledVsInterpreted contrasts the two evaluation paths on
+// the same sheet (X19): "compiled" is the default Evaluate, which runs
+// the slot-resolved plan; "interpreted" forces the tree-walking
+// evaluator the compiled path falls back to.  Equivalence is asserted
+// once outside the timing loops.
+func BenchmarkCompiledVsInterpreted(b *testing.B) {
+	reg := powerplay.StandardLibrary()
+	d, err := powerplay.InfoPad(reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rc, err := d.Evaluate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ri, err := d.EvaluateInterpreted(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rc.Power != ri.Power || rc.Area != ri.Area || rc.Delay != ri.Delay {
+		b.Fatalf("paths disagree: compiled %v/%v/%v, interpreted %v/%v/%v",
+			rc.Power, rc.Area, rc.Delay, ri.Power, ri.Area, ri.Delay)
+	}
+	b.Run("compiled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.Evaluate(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("interpreted", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.EvaluateInterpreted(nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSweptConePoint times one per-point evaluation of a hoisted
+// sweep (X19): the invariant part of the Figure 3 sheet is computed
+// once by the Sweeper, so each iteration replays only the cone of
+// steps downstream of the swept supply.  This is the marginal cost a
+// sweep pays per point after hoisting; compare against
+// BenchmarkParameterSweep's per-point figure (its total ÷ 7).
+func BenchmarkSweptConePoint(b *testing.B) {
+	reg := powerplay.StandardLibrary()
+	d, err := powerplay.Luminance2(reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := d.PlanFor([]string{"vdd"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sw, err := plan.NewSweeper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := sw.NewEval()
+	ov := map[string]float64{"vdd": 1.5}
+	// The hoisted totals must match a full evaluation exactly.
+	power, area, delay, err := ev.At(ov)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full, err := d.EvaluateAt(ov)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if power != float64(full.Power) || area != float64(full.Area) || delay != float64(full.Delay) {
+		b.Fatalf("hoisted point disagrees with EvaluateAt: %v/%v/%v vs %v/%v/%v",
+			power, area, delay, full.Power, full.Area, full.Delay)
+	}
+	supplies := []float64{1.1, 1.3, 1.5, 2.0, 2.5, 3.0, 3.3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ov["vdd"] = supplies[i%len(supplies)]
+		if _, _, _, err := ev.At(ov); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchmarkSweepWorkers times a 64-point supply sweep of the Figure 3
 // sheet through the exploration engine at a given pool size (X18).
 // Workers == 1 is the serial baseline the parallel rows are compared

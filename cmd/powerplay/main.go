@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 
@@ -32,6 +33,8 @@ func main() {
 	password := flag.String("password", "", "site password (empty = open site)")
 	siteName := flag.String("site", "PowerPlay", "site name shown on pages")
 	seed := flag.Bool("seed", false, "preload the paper's example designs for user 'demo'")
+	sweepTimeout := flag.Duration("sweep-timeout", 0, "per-request exploration sweep budget (0 = 30s default)")
+	profiling := flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/")
 	var mounts multiFlag
 	flag.Var(&mounts, "mount", "remote library to mount, url=prefix (repeatable)")
 	flag.Parse()
@@ -51,6 +54,7 @@ func main() {
 
 	srv, err := web.NewServer(web.Config{
 		SiteName: *siteName, DataDir: *data, Password: *password,
+		SweepTimeout: *sweepTimeout,
 	}, reg)
 	if err != nil {
 		log.Fatal(err)
@@ -61,11 +65,30 @@ func main() {
 		}
 		log.Printf("seeded the paper's designs for user %q", "demo")
 	}
+	handler := srv.Handler()
+	if *profiling {
+		handler = withPprof(handler)
+		log.Printf("profiling enabled at http://%s/debug/pprof/", *addr)
+	}
 	log.Printf("%s listening on http://%s", *siteName, *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// withPprof mounts the standard profiling endpoints in front of the
+// application handler.  Opt-in via -pprof: the endpoints reveal heap
+// and goroutine internals, which an open site should not serve.
+func withPprof(app http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", app)
+	return mux
 }
 
 // seedDesigns installs the paper's three example sheets for a demo user.

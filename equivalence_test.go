@@ -1,0 +1,92 @@
+// Equivalence harness for the compiled evaluation pipeline: every seed
+// sheet is evaluated through the default (compiled) path and through
+// the tree interpreter, at several operating points, and the result
+// trees must match exactly — bit-identical floats, same resolved
+// parameters, same shape.  This is the acceptance gate that lets
+// Evaluate/EvaluateAt route through the plan without any observable
+// change.
+package powerplay_test
+
+import (
+	"testing"
+
+	"powerplay"
+)
+
+// seedDesigns enumerates every design builder the repo ships.
+func seedDesigns(t *testing.T) map[string]*powerplay.Design {
+	t.Helper()
+	reg := powerplay.StandardLibrary()
+	out := make(map[string]*powerplay.Design)
+	build := func(name string, d *powerplay.Design, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = d
+	}
+	d1, err := powerplay.Luminance1(reg)
+	build("Luminance_1", d1, err)
+	d2, err := powerplay.Luminance2(reg)
+	build("Luminance_2", d2, err)
+	ip, err := powerplay.InfoPad(reg)
+	build("InfoPad", ip, err)
+	mac, err := powerplay.MACDesign(reg, 4, 1e6)
+	build("MAC", mac, err)
+	return out
+}
+
+func sameTree(t *testing.T, name, path string, a, b *powerplay.Result) {
+	t.Helper()
+	if a.Power != b.Power || a.DynamicPower != b.DynamicPower || a.StaticPower != b.StaticPower ||
+		a.Area != b.Area || a.Delay != b.Delay || a.EnergyPerOp != b.EnergyPerOp {
+		t.Errorf("%s%s: compiled %v/%v/%v/%v vs interpreted %v/%v/%v/%v",
+			name, path, a.Power, a.Area, a.Delay, a.EnergyPerOp,
+			b.Power, b.Area, b.Delay, b.EnergyPerOp)
+	}
+	if len(a.Params) != len(b.Params) {
+		t.Errorf("%s%s: params %v vs %v", name, path, a.Params, b.Params)
+	} else {
+		for k, v := range a.Params {
+			if bv, ok := b.Params[k]; !ok || bv != v {
+				t.Errorf("%s%s: param %q = %v vs %v", name, path, k, v, bv)
+			}
+		}
+	}
+	if len(a.Children) != len(b.Children) {
+		t.Fatalf("%s%s: %d children vs %d", name, path, len(a.Children), len(b.Children))
+	}
+	for i := range a.Children {
+		sameTree(t, name, path+"/"+a.Children[i].Node.Name, a.Children[i], b.Children[i])
+	}
+}
+
+// TestCompiledEquivalenceOnSeedSheets is the repo-wide acceptance test:
+// same values, same errors, both paths, every sheet.
+func TestCompiledEquivalenceOnSeedSheets(t *testing.T) {
+	points := []map[string]float64{
+		nil,
+		{"vdd": 1.1},
+		{"vdd": 3.3, "f": 5e6},
+		{"f": 1e4},
+		{"vdd": 0.2}, // below most models' ranges: both paths must fail identically
+		{"vdd": 2.0, "nonsense": 7},
+	}
+	for name, d := range seedDesigns(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, ov := range points {
+				rc, errC := d.EvaluateAt(ov)
+				ri, errI := d.EvaluateInterpreted(ov)
+				if (errC == nil) != (errI == nil) {
+					t.Fatalf("at %v: compiled err=%v, interpreted err=%v", ov, errC, errI)
+				}
+				if errC != nil {
+					if errC.Error() != errI.Error() {
+						t.Fatalf("at %v: error text differs:\ncompiled:    %v\ninterpreted: %v", ov, errC, errI)
+					}
+					continue
+				}
+				sameTree(t, name, "", rc, ri)
+			}
+		})
+	}
+}

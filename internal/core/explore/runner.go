@@ -112,8 +112,11 @@ func (r *Runner) MinSupply(ctx context.Context, d *sheet.Design, fTarget, lo, hi
 		return 0, fmt.Errorf("explore: bad frequency target %g", fTarget)
 	}
 	target := 1 / fTarget
+	// Bisection probes share one override-name set, so the invariant
+	// part of the design is hoisted once for the whole search.
+	ev := newEval(hoist(d, []map[string]float64{{"vdd": lo}}))
 	meets := func(vdd float64) (bool, error) {
-		p, err := r.point(ctx, d, map[string]float64{"vdd": vdd})
+		p, err := r.point(ctx, d, ev, map[string]float64{"vdd": vdd})
 		if err != nil {
 			return false, err
 		}
@@ -155,11 +158,12 @@ func (r *Runner) VoltageScale(ctx context.Context, d *sheet.Design, fTarget, lo,
 	if err != nil {
 		return SupplySavings{}, err
 	}
-	pNom, err := r.point(ctx, d, map[string]float64{"vdd": nominal})
+	ev := newEval(hoist(d, []map[string]float64{{"vdd": nominal}}))
+	pNom, err := r.point(ctx, d, ev, map[string]float64{"vdd": nominal})
 	if err != nil {
 		return SupplySavings{}, err
 	}
-	pMin, err := r.point(ctx, d, map[string]float64{"vdd": min})
+	pMin, err := r.point(ctx, d, ev, map[string]float64{"vdd": min})
 	if err != nil {
 		return SupplySavings{}, err
 	}
@@ -171,17 +175,29 @@ func (r *Runner) VoltageScale(ctx context.Context, d *sheet.Design, fTarget, lo,
 
 // run evaluates one point per override map against d, preserving input
 // order in the returned slice.
+//
+// Before any point is evaluated, run hoists the sweep-invariant part of
+// the computation: it compiles the design's evaluation plan for the
+// override-name set (all points of a sweep share one), executes every
+// step that cannot depend on the swept variables once, and snapshots
+// the result.  Each point then replays only the override-dependent cone
+// over a copy of that baseline.  When hoisting is unavailable — the
+// plan does not compile, or the invariant steps themselves fail — every
+// point falls back to the full EvaluateAt path, which reproduces the
+// canonical error messages.
 func (r *Runner) run(ctx context.Context, d *sheet.Design, overrides []map[string]float64) ([]Point, error) {
 	out := make([]Point, len(overrides))
+	sw := hoist(d, overrides)
 	if w := r.workers(len(overrides)); w > 1 {
-		if err := r.runParallel(ctx, d, overrides, out, w); err != nil {
+		if err := r.runParallel(ctx, d, overrides, out, w, sw); err != nil {
 			return nil, err
 		}
 		return out, nil
 	}
 	// Serial fast path: evaluate on the caller's design, no clone.
+	ev := newEval(sw)
 	for i, ov := range overrides {
-		p, err := r.point(ctx, d, ov)
+		p, err := r.point(ctx, d, ev, ov)
 		if err != nil {
 			return nil, err
 		}
@@ -190,11 +206,58 @@ func (r *Runner) run(ctx context.Context, d *sheet.Design, overrides []map[strin
 	return out, nil
 }
 
+// hoist builds the sweep-invariant baseline for a uniform override
+// list.  It returns nil — meaning "no fast path, evaluate every point
+// in full" — when there are no points, when the points do not share one
+// override-name set, when the plan does not compile (e.g. a static
+// cycle), or when an invariant step fails; in every such case the
+// per-point fallback reproduces exactly what the design's own
+// EvaluateAt would report.
+func hoist(d *sheet.Design, overrides []map[string]float64) *sheet.Sweeper {
+	if len(overrides) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(overrides[0]))
+	for n := range overrides[0] {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, ov := range overrides[1:] {
+		if len(ov) != len(names) {
+			return nil
+		}
+		for _, n := range names {
+			if _, ok := ov[n]; !ok {
+				return nil
+			}
+		}
+	}
+	plan, err := d.PlanFor(names)
+	if err != nil {
+		return nil
+	}
+	sw, err := plan.NewSweeper()
+	if err != nil {
+		return nil
+	}
+	return sw
+}
+
+// newEval is the nil-safe per-goroutine evaluation context constructor:
+// a nil Sweeper (hoisting unavailable) yields a nil SweepEval, which
+// point treats as "no fast path".
+func newEval(sw *sheet.Sweeper) *sheet.SweepEval {
+	if sw == nil {
+		return nil
+	}
+	return sw.NewEval()
+}
+
 // runParallel fans the points out over w workers, each evaluating its
 // own clone of d.  Result slots are pre-assigned by index, so no two
 // goroutines ever write the same element and the output order matches
 // the input regardless of scheduling.
-func (r *Runner) runParallel(parent context.Context, d *sheet.Design, overrides []map[string]float64, out []Point, w int) error {
+func (r *Runner) runParallel(parent context.Context, d *sheet.Design, overrides []map[string]float64, out []Point, w int, sw *sheet.Sweeper) error {
 	// The internal context stops the index feed once any point fails;
 	// workers evaluate the point they already hold under the PARENT
 	// context.  That distinction is what makes error reporting
@@ -229,10 +292,14 @@ func (r *Runner) runParallel(parent context.Context, d *sheet.Design, overrides 
 			defer wg.Done()
 			// One snapshot per worker: cloning is O(rows), evaluation
 			// is O(rows × points/worker), so the clone amortizes away
-			// while guaranteeing race freedom against the caller.
+			// while guaranteeing race freedom against the caller.  The
+			// hoisted Sweeper is shared — it is immutable — but each
+			// worker gets its own SweepEval (a private slot vector over
+			// the shared baseline); the clone serves the fallback path.
 			snap := d.Clone()
+			ev := newEval(sw)
 			for i := range idx {
-				p, err := r.point(parent, snap, overrides[i])
+				p, err := r.point(parent, snap, ev, overrides[i])
 				if err != nil {
 					mu.Lock()
 					// Keep the lowest-indexed failure so parallel runs
@@ -261,7 +328,12 @@ func (r *Runner) runParallel(parent context.Context, d *sheet.Design, overrides 
 // point evaluates (or recalls from cache) a single override vector.
 // It checks ctx before doing any work, so a canceled sweep stops at
 // the next point boundary.
-func (r *Runner) point(ctx context.Context, d *sheet.Design, overrides map[string]float64) (Point, error) {
+//
+// When ev is non-nil it is tried first: the hoisted fast path replays
+// only the override-dependent cone of the compiled plan and yields
+// totals identical to a full evaluation.  Any fast-path error falls
+// through to EvaluateAt, which reproduces the canonical message.
+func (r *Runner) point(ctx context.Context, d *sheet.Design, ev *sheet.SweepEval, overrides map[string]float64) (Point, error) {
 	if err := ctx.Err(); err != nil {
 		return Point{}, fmt.Errorf("explore: sweep interrupted: %w", err)
 	}
@@ -272,13 +344,21 @@ func (r *Runner) point(ctx context.Context, d *sheet.Design, overrides map[strin
 			return Point{Vars: overrides, Power: rec.power, Area: rec.area, Delay: rec.delay}, nil
 		}
 	}
-	res, err := d.EvaluateAt(overrides)
-	if err != nil {
-		return Point{}, fmt.Errorf("explore: %s: %w", overridesLabel(overrides), err)
+	p, ok := Point{}, false
+	if ev != nil {
+		if power, area, delay, err := ev.At(overrides); err == nil {
+			p, ok = Point{Vars: overrides, Power: power, Area: area, Delay: delay}, true
+		}
 	}
-	p := Point{
-		Vars:  overrides,
-		Power: float64(res.Power), Area: float64(res.Area), Delay: float64(res.Delay),
+	if !ok {
+		res, err := d.EvaluateAt(overrides)
+		if err != nil {
+			return Point{}, fmt.Errorf("explore: %s: %w", overridesLabel(overrides), err)
+		}
+		p = Point{
+			Vars:  overrides,
+			Power: float64(res.Power), Area: float64(res.Area), Delay: float64(res.Delay),
+		}
 	}
 	if r.Cache != nil {
 		r.Cache.store(cacheRecord{key: key, power: p.Power, area: p.Area, delay: p.Delay})

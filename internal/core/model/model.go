@@ -155,11 +155,20 @@ func (e *Estimate) EnergyPerOp() units.Joules {
 
 // AddCap appends a full-swing dynamic contribution.
 func (e *Estimate) AddCap(label string, c units.Farads, f units.Hertz) {
+	if e.Dynamic == nil {
+		// Most models contribute a handful of terms; one right-sized
+		// allocation beats append's doubling walk on the hot
+		// evaluation path.
+		e.Dynamic = make([]Contribution, 0, 4)
+	}
 	e.Dynamic = append(e.Dynamic, Contribution{Label: label, Csw: c, Freq: f})
 }
 
 // AddSwing appends a partial-swing dynamic contribution (EQ 8).
 func (e *Estimate) AddSwing(label string, c units.Farads, swing units.Volts, f units.Hertz) {
+	if e.Dynamic == nil {
+		e.Dynamic = make([]Contribution, 0, 4)
+	}
 	e.Dynamic = append(e.Dynamic, Contribution{Label: label, Csw: c, Vswing: swing, Freq: f})
 }
 

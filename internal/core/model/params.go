@@ -67,14 +67,56 @@ func (p Param) Check(v float64) error {
 // rejected, except the conventional scope parameters (vdd, f, tech),
 // which are always allowed through so that enclosing-sheet globals can
 // be handed to any model.
+//
+// Callers validating against one schema repeatedly (the compiled sheet
+// plan, the web form) should build a Schema once and use its Validate,
+// which skips the per-call index construction this function pays.
 func Validate(schema []Param, in Params) (Params, error) {
-	known := make(map[string]Param, len(schema))
-	for _, p := range schema {
-		known[p.Name] = p
+	return NewSchema(schema).Validate(in)
+}
+
+// Schema is a prebuilt parameter-schema index: the reusable form of
+// Validate for hot paths that evaluate the same model many times.  A
+// Schema is immutable after NewSchema and safe for concurrent use.
+type Schema struct {
+	params []Param
+	known  map[string]Param
+}
+
+// NewSchema indexes a parameter schema for repeated validation.
+func NewSchema(params []Param) *Schema {
+	s := &Schema{params: params, known: make(map[string]Param, len(params))}
+	for _, p := range params {
+		s.known[p.Name] = p
 	}
-	out := make(Params, len(schema)+3)
+	return s
+}
+
+// Params returns the schema's parameter list, in declaration order.
+func (s *Schema) Params() []Param { return s.params }
+
+// Lookup returns the schema parameter with the given name.
+func (s *Schema) Lookup(name string) (Param, bool) {
+	p, ok := s.known[name]
+	return p, ok
+}
+
+// Validate checks a valuation against the schema and returns a complete
+// copy with defaults filled in — semantics identical to the package-
+// level Validate.
+func (s *Schema) Validate(in Params) (Params, error) {
+	return s.ValidateInto(in, make(Params, len(s.params)+3))
+}
+
+// ValidateInto is Validate writing into a caller-owned output map,
+// which it clears first: the allocation-free variant for hot loops
+// (the compiled sheet plan) that re-validate against one schema per
+// evaluation.  The caller must not let the model being evaluated
+// retain out beyond the call.
+func (s *Schema) ValidateInto(in, out Params) (Params, error) {
+	clear(out)
 	for name, v := range in {
-		p, ok := known[name]
+		p, ok := s.known[name]
 		if !ok {
 			switch name {
 			case ParamVDD, ParamFreq, ParamTech:
@@ -88,7 +130,7 @@ func Validate(schema []Param, in Params) (Params, error) {
 		}
 		out[name] = v
 	}
-	for _, p := range schema {
+	for _, p := range s.params {
 		if _, ok := out[p.Name]; !ok {
 			out[p.Name] = p.Default
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Registry is a thread-safe name → Model table: one PowerPlay library
@@ -12,6 +13,7 @@ import (
 type Registry struct {
 	mu     sync.RWMutex
 	models map[string]Model
+	gen    atomic.Uint64
 }
 
 // NewRegistry returns an empty registry.
@@ -29,6 +31,7 @@ func (r *Registry) Register(m Model) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.models[name] = m
+	r.gen.Add(1)
 	return nil
 }
 
@@ -45,8 +48,16 @@ func (r *Registry) Unregister(name string) bool {
 	defer r.mu.Unlock()
 	_, ok := r.models[name]
 	delete(r.models, name)
+	if ok {
+		r.gen.Add(1)
+	}
 	return ok
 }
+
+// Generation returns a counter that advances on every Register and
+// Unregister: a cheap staleness check for caches keyed to a model
+// lookup (the sheet plan's per-row schema cache).
+func (r *Registry) Generation() uint64 { return r.gen.Load() }
 
 // Lookup finds a model by name.
 func (r *Registry) Lookup(name string) (Model, bool) {

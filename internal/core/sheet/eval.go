@@ -70,27 +70,65 @@ func (e *EvalError) Error() string {
 }
 
 // Evaluate computes the whole design — the Play button.
+//
+// Evaluation runs on the design's compiled plan (see plan.go) when one
+// is available, falling back to the tree interpreter whenever the plan
+// cannot be built or errs; both paths produce identical values, and
+// the fallback guarantees the interpreter's canonical error messages.
 func (d *Design) Evaluate() (*Result, error) {
-	ev := &evaluator{
-		design:   d,
-		results:  make(map[*Node]*Result),
-		visiting: make(map[*Node]bool),
-		frames:   make(map[*Node]*frame),
-	}
-	return ev.node(d.Root)
+	return d.evaluate(nil)
 }
 
 // EvaluateAt computes the design with temporary overrides applied to
 // the root globals — the parameter-sweep entry point.  The design is
 // not mutated.
 //
-// Concurrency: all evaluation state lives in a per-call evaluator, so
-// concurrent EvaluateAt (and Evaluate) calls on one Design are safe as
-// long as no goroutine mutates the design tree while they run.  Code
-// that cannot rule out concurrent edits (the web handlers) should
-// evaluate a Clone instead; see Clone and DESIGN.md's "Concurrent
-// exploration" section for the full contract.
+// Concurrency: per-call evaluation state lives in the evaluator (or a
+// pooled plan run), so concurrent EvaluateAt (and Evaluate) calls on
+// one Design are safe as long as no goroutine mutates the design tree
+// while they run.  Code that cannot rule out concurrent edits (the web
+// handlers) should evaluate a Clone instead; see Clone and DESIGN.md's
+// "Concurrent exploration" section for the full contract.
 func (d *Design) EvaluateAt(overrides map[string]float64) (*Result, error) {
+	return d.evaluate(overrides)
+}
+
+// evaluate is the shared compiled-first entry point.
+func (d *Design) evaluate(overrides map[string]float64) (*Result, error) {
+	if plan, err := d.PlanFor(overrideNames(overrides)); err == nil {
+		if r, err := plan.Exec(overrides); err == nil {
+			return r, nil
+		}
+	}
+	return d.evaluateInterpreted(overrides)
+}
+
+// EvaluateTotals computes just the design's root power, area and delay
+// at an override point — identical numbers to EvaluateAt's root Result,
+// without building the Result tree.  Macro evaluation uses it, which
+// is what makes deeply nested macro hierarchies cheap.
+func (d *Design) EvaluateTotals(overrides map[string]float64) (power, area, delay float64, err error) {
+	if plan, perr := d.PlanFor(overrideNames(overrides)); perr == nil {
+		if pw, a, dl, terr := plan.ExecTotals(overrides); terr == nil {
+			return pw, a, dl, nil
+		}
+	}
+	r, err := d.evaluateInterpreted(overrides)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return float64(r.Power), float64(r.Area), float64(r.Delay), nil
+}
+
+// EvaluateInterpreted computes the design through the tree interpreter
+// only, bypassing the compiled plan.  It exists for equivalence testing
+// and as the semantic reference: Evaluate/EvaluateAt must agree with it
+// exactly, value for value and error message for error message.
+func (d *Design) EvaluateInterpreted(overrides map[string]float64) (*Result, error) {
+	return d.evaluateInterpreted(overrides)
+}
+
+func (d *Design) evaluateInterpreted(overrides map[string]float64) (*Result, error) {
 	ev := &evaluator{
 		design:    d,
 		results:   make(map[*Node]*Result),
@@ -191,52 +229,59 @@ func (env *nodeEnv) Var(name string) (float64, bool) {
 	return v, ok
 }
 
+// dbtactFunc implements dbtact(std, rho, bits): the dual-bit-type
+// activity scale for a word carrying a signal with the given
+// statistics, relative to the random-data characterization — bind a
+// cell's "act" parameter to it and the sheet prices signal
+// correlation.  It is a package-level value so the interpreter's
+// nodeEnv and the compiled plan's resolver hand out the same function.
+var dbtactFunc expr.Func = func(args []expr.Value) (float64, error) {
+	if len(args) != 3 {
+		return 0, fmt.Errorf("dbtact(std, rho, bits) takes three numbers")
+	}
+	std, err := args[0].Float()
+	if err != nil {
+		return 0, err
+	}
+	rho, err := args[1].Float()
+	if err != nil {
+		return 0, err
+	}
+	bits, err := args[2].Float()
+	if err != nil {
+		return 0, err
+	}
+	s := activity.Stats{Std: std, Rho: rho}
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	if bits < 1 || bits > 1024 {
+		return 0, fmt.Errorf("dbtact: bits %g out of range", bits)
+	}
+	return s.ActScale(int(bits)), nil
+}
+
+// signactFunc implements signact(rho): the sign-bit transition
+// probability arccos(ρ)/π.
+var signactFunc expr.Func = func(args []expr.Value) (float64, error) {
+	if len(args) != 1 {
+		return 0, fmt.Errorf("signact(rho) takes one number")
+	}
+	rho, err := args[0].Float()
+	if err != nil {
+		return 0, err
+	}
+	return activity.SignActivity(rho), nil
+}
+
 // Func implements expr.FuncEnv: the inter-model accessors plus the
 // signal-statistics helpers.
 func (env *nodeEnv) Func(name string) (expr.Func, bool) {
 	switch name {
 	case "dbtact":
-		// dbtact(std, rho, bits): the dual-bit-type activity scale for
-		// a word carrying a signal with the given statistics, relative
-		// to the random-data characterization — bind a cell's "act"
-		// parameter to it and the sheet prices signal correlation.
-		return func(args []expr.Value) (float64, error) {
-			if len(args) != 3 {
-				return 0, fmt.Errorf("dbtact(std, rho, bits) takes three numbers")
-			}
-			std, err := args[0].Float()
-			if err != nil {
-				return 0, err
-			}
-			rho, err := args[1].Float()
-			if err != nil {
-				return 0, err
-			}
-			bits, err := args[2].Float()
-			if err != nil {
-				return 0, err
-			}
-			s := activity.Stats{Std: std, Rho: rho}
-			if err := s.Validate(); err != nil {
-				return 0, err
-			}
-			if bits < 1 || bits > 1024 {
-				return 0, fmt.Errorf("dbtact: bits %g out of range", bits)
-			}
-			return s.ActScale(int(bits)), nil
-		}, true
+		return dbtactFunc, true
 	case "signact":
-		// signact(rho): the sign-bit transition probability arccos(ρ)/π.
-		return func(args []expr.Value) (float64, error) {
-			if len(args) != 1 {
-				return 0, fmt.Errorf("signact(rho) takes one number")
-			}
-			rho, err := args[0].Float()
-			if err != nil {
-				return 0, err
-			}
-			return activity.SignActivity(rho), nil
-		}, true
+		return signactFunc, true
 	}
 	var metric func(*Result) float64
 	switch name {

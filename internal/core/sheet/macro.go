@@ -19,6 +19,7 @@ import (
 type Macro struct {
 	name, title, doc string
 	design           *Design
+	note             string // precomputed lump note
 }
 
 // NewMacro wraps a design as a model.  Every root global whose current
@@ -35,7 +36,10 @@ func NewMacro(name, title, doc string, d *Design) (*Macro, error) {
 	if _, err := d.Evaluate(); err != nil {
 		return nil, fmt.Errorf("sheet: macro %q: design does not evaluate: %w", name, err)
 	}
-	return &Macro{name: name, title: title, doc: doc, design: d}, nil
+	return &Macro{
+		name: name, title: title, doc: doc, design: d,
+		note: fmt.Sprintf("macro of design %q: %d rows lumped", d.Name, countRows(d.Root)),
+	}, nil
 }
 
 // Design exposes the wrapped design (for hyperlinking from the macro's
@@ -66,7 +70,7 @@ func (m *Macro) Evaluate(p model.Params) (*model.Estimate, error) {
 	for k, v := range p {
 		overrides[k] = v
 	}
-	r, err := m.design.EvaluateAt(overrides)
+	power, area, delay, err := m.design.EvaluateTotals(overrides)
 	if err != nil {
 		return nil, fmt.Errorf("macro %q: %w", m.name, err)
 	}
@@ -85,10 +89,10 @@ func (m *Macro) Evaluate(p model.Params) (*model.Estimate, error) {
 	est := &model.Estimate{VDD: vdd}
 	// The inner evaluation already priced everything at the overridden
 	// operating point, so the lump is an equivalent static draw.
-	est.AddStatic("macro total", units.Amps(float64(r.Power)/float64(vdd)))
-	est.Area = r.Area
-	est.Delay = r.Delay
-	est.Note("macro of design %q: %d rows lumped", m.design.Name, countRows(m.design.Root))
+	est.AddStatic("macro total", units.Amps(power/float64(vdd)))
+	est.Area = units.SquareMeters(area)
+	est.Delay = units.Seconds(delay)
+	est.Notes = append(est.Notes, m.note)
 	return est, nil
 }
 

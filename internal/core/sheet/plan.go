@@ -1,0 +1,937 @@
+package sheet
+
+// Compiled evaluation plans.
+//
+// A Plan is the sheet-level half of the compiled evaluation pipeline
+// (the expression half lives in internal/expr/program.go): one walk of
+// the design assigns every reachable global and parameter binding a
+// slot in a flat float64 vector, compiles each binding to a slot-
+// resolved expr.Program, and topologically orders the work so that a
+// whole evaluation is a linear pass over precompiled steps — no scope
+// chains, no map lookups, no AST walks.  power("row")/area/delay call
+// sites lower to reads of the target row's result slots, which the
+// plan guarantees are computed first; the cycle detection mirrors the
+// interpreter's two rules (variable cycles and row cycles) with the
+// same error text.
+//
+// Correctness contract: a Plan execution that succeeds produces values
+// bit-identical to the tree interpreter (the programs replicate the
+// interpreter's operations exactly, and the step graph evaluates a
+// superset of what the interpreter would touch, in a compatible
+// order).  Any failure — at compile time (static cycle, which may be a
+// false positive when the cycle hides behind an untaken branch) or at
+// run time (a model error, a division by zero) — makes the caller fall
+// back to the interpreter, which re-derives the canonical error
+// message.  The compiled path therefore never changes observable
+// results; it only makes the common case fast.
+//
+// Sweep-invariant hoisting: the plan statically splits its steps into
+// the cone that depends (transitively) on the override slots and the
+// invariant remainder.  A Sweeper executes the invariant steps once
+// and snapshots the slot vector; each per-point evaluation then runs
+// only the variant cone over a copy of that baseline.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"powerplay/internal/core/model"
+	"powerplay/internal/expr"
+	"powerplay/internal/units"
+)
+
+// planEntry caches one compile outcome (failures are cached too, so a
+// sheet the compiler cannot handle pays the analysis once, not per
+// evaluation).
+type planEntry struct {
+	plan *Plan
+	err  error
+}
+
+// maxCachedPlans bounds the per-design plan cache; the key space is
+// override-name *sets*, which sweeps reuse heavily, but web input could
+// mint unboundedly many.
+const maxCachedPlans = 64
+
+// overrideNames returns the sorted name set of an override map: the
+// plan-cache key component.
+func overrideNames(ov map[string]float64) []string {
+	if len(ov) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(ov))
+	for k := range ov {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PlanFor returns the design's compiled evaluation plan for the given
+// override-name set (sorted; nil for plain Evaluate), compiling it on
+// first use and caching it on the Design.  The cache is invalidated by
+// any edit to the tree's structure or bindings, detected through a
+// content fingerprint over expression identities, so callers never
+// observe a stale plan.  Concurrent callers share one cached Plan;
+// Plan execution is itself concurrency-safe.
+func (d *Design) PlanFor(names []string) (*Plan, error) {
+	if !sort.StringsAreSorted(names) {
+		names = append([]string(nil), names...)
+		sort.Strings(names)
+	}
+	key := strings.Join(names, "\x00")
+	d.planMu.Lock()
+	defer d.planMu.Unlock()
+	fp := d.cachedFingerprint()
+	if d.plans == nil || d.planFP != fp || len(d.plans) > maxCachedPlans {
+		d.plans = make(map[string]*planEntry)
+		d.planFP = fp
+	}
+	if e, ok := d.plans[key]; ok {
+		return e.plan, e.err
+	}
+	plan, err := compilePlan(d, names)
+	d.plans[key] = &planEntry{plan: plan, err: err}
+	return plan, err
+}
+
+// cachedFingerprint returns the design's content fingerprint, reusing
+// the previous hash when the tree's mutation epoch (and root identity)
+// are unchanged since it was computed.  Caller holds planMu.
+func (d *Design) cachedFingerprint() uint64 {
+	e := d.Root.epoch.Load()
+	if d.fpValid && d.fpRoot == d.Root && d.fpEpoch == e {
+		return d.fpVal
+	}
+	d.fpVal = d.contentFingerprint()
+	d.fpRoot, d.fpEpoch, d.fpValid = d.Root, e, true
+	return d.fpVal
+}
+
+// contentFingerprint hashes everything evaluation depends on: the tree
+// shape, row names, models, delay composition and the identity of
+// every bound expression.  Expressions are immutable after compile and
+// rebinding swaps pointers, so expr.Expr.ID captures cell edits.
+func (d *Design) contentFingerprint() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	str := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime
+		}
+		h ^= 0xff
+		h *= prime
+	}
+	u64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		str(n.Name)
+		str(n.Model)
+		str(string(n.Delay))
+		for _, b := range n.Params {
+			str(b.Name)
+			u64(b.Expr.ID())
+		}
+		h ^= 0xfe
+		h *= prime
+		for _, b := range n.Globals {
+			str(b.Name)
+			u64(b.Expr.ID())
+		}
+		h ^= 0xfd
+		h *= prime
+		for _, c := range n.Children {
+			walk(c)
+		}
+		h ^= 0xfc
+		h *= prime
+	}
+	walk(d.Root)
+	return h
+}
+
+// Plan is a compiled evaluation schedule for one design and one
+// override-name set.  It is immutable after compilation (per-row model
+// caches update atomically) and safe for concurrent Exec calls.
+type Plan struct {
+	design        *Design
+	overrideNames []string
+	overrideSlots []int
+	slotCount     int
+	steps         []*planStep
+	isVariant     []bool // per step: depends on an override slot
+	variantSteps  []int  // indices of variant steps, in schedule order
+	variantSlot   []bool // per slot: an override writes it, transitively
+	nodes         []*Node
+	nodeBase      []int
+	idxOf         map[*Node]int
+	rootIdx       int
+	pool          sync.Pool // *planRun
+}
+
+// planStep is one unit of scheduled work: either "run a compiled
+// expression into a slot" or "evaluate and aggregate one row".
+type planStep struct {
+	kind stepKind
+
+	// stepExpr
+	prog *expr.Program
+	dst  int
+
+	// stepNode
+	node       *Node
+	nodeIdx    int
+	base       int // 5 result slots: power, dynamic, static, area, delay
+	modelName  string
+	paramNames []string
+	paramSlots []int
+	stdNames   []string // inherited vdd/f/tech, when in scope and unbound
+	stdSlots   []int
+	childBases []int
+	compose    Compose
+	mc         atomic.Pointer[rowModelCache]
+}
+
+type stepKind uint8
+
+const (
+	stepExpr stepKind = iota
+	stepNode
+)
+
+// rowModelCache pins the resolved model, its prebuilt validation
+// schema, and the row's precomputed validation schedule, keyed to the
+// registry generation so re-registering a model invalidates it.  The
+// schedule is split by slot variance: between evaluations of one plan,
+// invariant entries always reproduce the same value (their slots are
+// written by deterministic invariant steps, or are constants), so a
+// re-fill of an already-populated map only rewrites varEntries.
+type rowModelCache struct {
+	gen        uint64
+	m          model.Model
+	schema     *model.Schema
+	varEntries []paramEntry // bound to override-dependent slots
+	invEntries []paramEntry // invariant slots and schema defaults
+	size       int
+	invalid    string // a bound name Validate would reject; "" when fine
+}
+
+// paramEntry is one precomputed element of a row's validated parameter
+// map: a schema parameter (bound to a slot, or defaulted) or a
+// passed-through conventional parameter.  The sequence reproduces what
+// Schema.Validate builds, without the intermediate map.
+type paramEntry struct {
+	name  string
+	slot  int // -1: use def
+	def   float64
+	check bool
+	param model.Param
+}
+
+// buildRowModelCache resolves a row's model and precomputes its
+// validation schedule from the step's bound/inherited slots, split by
+// the plan's slot-variance map.
+func buildRowModelCache(st *planStep, m model.Model, gen uint64, variantSlot []bool) *rowModelCache {
+	mc := &rowModelCache{gen: gen, m: m, schema: model.NewSchema(m.Info().Params)}
+	put := func(en paramEntry) {
+		mc.size++
+		if en.slot >= 0 && variantSlot[en.slot] {
+			mc.varEntries = append(mc.varEntries, en)
+		} else {
+			mc.invEntries = append(mc.invEntries, en)
+		}
+	}
+	bound := make(map[string]bool, len(st.paramNames)+len(st.stdNames))
+	add := func(name string, slot int) {
+		bound[name] = true
+		if p, ok := mc.schema.Lookup(name); ok {
+			put(paramEntry{name: name, slot: slot, check: true, param: p})
+			return
+		}
+		switch name {
+		case model.ParamVDD, model.ParamFreq, model.ParamTech:
+			put(paramEntry{name: name, slot: slot})
+		default:
+			if mc.invalid == "" {
+				mc.invalid = name
+			}
+		}
+	}
+	for i, name := range st.paramNames {
+		add(name, st.paramSlots[i])
+	}
+	for i, name := range st.stdNames {
+		add(name, st.stdSlots[i])
+	}
+	for _, p := range mc.schema.Params() {
+		if !bound[p.Name] {
+			put(paramEntry{name: p.Name, slot: -1, def: p.Default})
+		}
+	}
+	return mc
+}
+
+// Node result slot offsets within a row's 5-slot block.
+const (
+	slotPower = iota
+	slotDynamic
+	slotStatic
+	slotArea
+	slotDelay
+	nodeSlots
+)
+
+// planRun is pooled (or per-worker) mutable execution state.  ests and
+// params hold per-row outputs when the caller keeps results; fulls are
+// reusable per-row validated-parameter maps that never escape a run.
+// A full map's key set is fixed by the row's validation schedule, so
+// re-evaluations overwrite in place without clearing; fullGen records
+// which schedule (registry generation) populated it, forcing a clear
+// if a re-registered model changed the schema.
+type planRun struct {
+	slots   []float64
+	scratch expr.Scratch
+	ests    []*model.Estimate
+	params  []model.Params
+	fulls   []model.Params
+	fullGen []uint64
+}
+
+// newRun allocates execution state sized to the plan.
+func (p *Plan) newRun() *planRun {
+	return &planRun{
+		slots:   make([]float64, p.slotCount),
+		ests:    make([]*model.Estimate, len(p.nodes)),
+		params:  make([]model.Params, len(p.nodes)),
+		fulls:   make([]model.Params, len(p.nodes)),
+		fullGen: make([]uint64, len(p.nodes)),
+	}
+}
+
+// fullMap returns the idx'th reusable validated-parameter map and
+// whether it is already populated for this registry generation.  A
+// populated map's invariant entries hold their final values — they are
+// written by deterministic invariant steps or are schema constants —
+// so the caller only rewrites the variant entries.  The caller marks
+// the map populated (fullGen) after a successful full fill.
+func (run *planRun) fullMap(idx, size int, gen uint64) (model.Params, bool) {
+	m := run.fulls[idx]
+	if m == nil {
+		m = make(model.Params, size)
+		run.fulls[idx] = m
+		return m, false
+	}
+	if run.fullGen[idx] != gen {
+		clear(m)
+		return m, false
+	}
+	return m, true
+}
+
+// Steps returns the number of scheduled steps (for tests and
+// diagnostics).
+func (p *Plan) Steps() int { return len(p.steps) }
+
+// VariantSteps returns how many steps depend on the override set: the
+// per-point work a sweep actually pays after invariant hoisting.
+func (p *Plan) VariantSteps() int { return len(p.variantSteps) }
+
+// Slots returns the size of the plan's slot vector.
+func (p *Plan) Slots() int { return p.slotCount }
+
+// Exec evaluates the design at one override point and builds the full
+// Result tree.  It is safe for concurrent use.
+func (p *Plan) Exec(overrides map[string]float64) (*Result, error) {
+	run, _ := p.pool.Get().(*planRun)
+	if run == nil {
+		run = p.newRun()
+	}
+	defer p.pool.Put(run)
+	for i, name := range p.overrideNames {
+		run.slots[p.overrideSlots[i]] = overrides[name]
+	}
+	for _, st := range p.steps {
+		if err := p.execStep(st, run.slots, run, true); err != nil {
+			return nil, err
+		}
+	}
+	return p.buildResult(run, p.rootIdx), nil
+}
+
+// ExecTotals evaluates the design at one override point and returns
+// just the root totals, skipping Result-tree construction: the fast
+// path for callers (macros, sweeps) that only consume the lumped
+// numbers.  It is safe for concurrent use.
+func (p *Plan) ExecTotals(overrides map[string]float64) (power, area, delay float64, err error) {
+	run, _ := p.pool.Get().(*planRun)
+	if run == nil {
+		run = p.newRun()
+	}
+	defer p.pool.Put(run)
+	for i, name := range p.overrideNames {
+		run.slots[p.overrideSlots[i]] = overrides[name]
+	}
+	for _, st := range p.steps {
+		if err := p.execStep(st, run.slots, run, false); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	base := p.nodeBase[p.rootIdx]
+	return run.slots[base+slotPower], run.slots[base+slotArea], run.slots[base+slotDelay], nil
+}
+
+// execStep runs one step against a slot vector.  When keep is set the
+// per-row estimate and parameter map are retained in run for Result
+// construction; otherwise reusable scratch maps are used and nothing
+// escapes the run.
+func (p *Plan) execStep(st *planStep, slots []float64, run *planRun, keep bool) error {
+	if st.kind == stepExpr {
+		v, err := st.prog.Run(slots, &run.scratch)
+		if err != nil {
+			return err
+		}
+		slots[st.dst] = v
+		return nil
+	}
+
+	var pw, dyn, static, area, delay float64
+	if st.modelName != "" {
+		reg := p.design.Registry
+		m, ok := reg.Lookup(st.modelName)
+		if !ok {
+			return fmt.Errorf("no model named %q in library", st.modelName)
+		}
+		gen := reg.Generation()
+		mc := st.mc.Load()
+		if mc == nil || mc.gen != gen {
+			mc = buildRowModelCache(st, m, gen, p.variantSlot)
+			st.mc.Store(mc)
+		}
+		if mc.invalid != "" {
+			return fmt.Errorf("unknown parameter %q", mc.invalid)
+		}
+		full, populated := run.fullMap(st.nodeIdx, mc.size, gen)
+		if !populated {
+			for i := range mc.invEntries {
+				en := &mc.invEntries[i]
+				v := en.def
+				if en.slot >= 0 {
+					v = slots[en.slot]
+				}
+				if en.check {
+					if err := en.param.Check(v); err != nil {
+						return err
+					}
+				}
+				full[en.name] = v
+			}
+		}
+		for i := range mc.varEntries {
+			en := &mc.varEntries[i]
+			v := slots[en.slot]
+			if en.check {
+				if err := en.param.Check(v); err != nil {
+					return err
+				}
+			}
+			full[en.name] = v
+		}
+		if !populated {
+			run.fullGen[st.nodeIdx] = gen
+		}
+		est, err := m.Evaluate(full)
+		if err != nil {
+			return err
+		}
+		if keep {
+			params := make(model.Params, len(st.paramNames)+3)
+			for i, name := range st.paramNames {
+				params[name] = slots[st.paramSlots[i]]
+			}
+			for i, name := range st.stdNames {
+				params[name] = slots[st.stdSlots[i]]
+			}
+			run.ests[st.nodeIdx] = est
+			run.params[st.nodeIdx] = params
+		}
+		pw = float64(est.Power())
+		dyn = float64(est.DynamicPower())
+		static = float64(est.StaticPower())
+		area = float64(est.Area)
+		delay = float64(est.Delay)
+	}
+	for _, cb := range st.childBases {
+		pw += slots[cb+slotPower]
+		dyn += slots[cb+slotDynamic]
+		static += slots[cb+slotStatic]
+		area += slots[cb+slotArea]
+		if st.compose == ComposeChain {
+			delay += slots[cb+slotDelay]
+		} else if slots[cb+slotDelay] > delay {
+			delay = slots[cb+slotDelay]
+		}
+	}
+	slots[st.base+slotPower] = pw
+	slots[st.base+slotDynamic] = dyn
+	slots[st.base+slotStatic] = static
+	slots[st.base+slotArea] = area
+	slots[st.base+slotDelay] = delay
+	return nil
+}
+
+// buildResult reconstructs the interpreter's Result tree from the slot
+// vector.
+func (p *Plan) buildResult(run *planRun, idx int) *Result {
+	n := p.nodes[idx]
+	base := p.nodeBase[idx]
+	s := run.slots
+	r := &Result{
+		Node:         n,
+		Power:        units.Watts(s[base+slotPower]),
+		DynamicPower: units.Watts(s[base+slotDynamic]),
+		StaticPower:  units.Watts(s[base+slotStatic]),
+		Area:         units.SquareMeters(s[base+slotArea]),
+		Delay:        units.Seconds(s[base+slotDelay]),
+	}
+	if n.Model != "" {
+		est := run.ests[idx]
+		r.Estimate = est
+		r.Params = run.params[idx]
+		r.EnergyPerOp = est.EnergyPerOp()
+	}
+	for _, c := range n.Children {
+		r.Children = append(r.Children, p.buildResult(run, p.idxOf[c]))
+	}
+	return r
+}
+
+// Sweeper snapshots the sweep-invariant portion of a plan: every step
+// that cannot depend on the override slots is executed once, and the
+// resulting slot vector becomes the baseline each per-point evaluation
+// starts from.  A Sweeper is immutable and safe to share; per-worker
+// mutable state lives in SweepEval.
+type Sweeper struct {
+	plan     *Plan
+	baseline []float64
+}
+
+// NewSweeper hoists and executes the invariant steps.  An error means
+// some invariant binding or model fails — the sweep caller should fall
+// back to plain EvaluateAt, which reproduces the canonical error.
+func (p *Plan) NewSweeper() (*Sweeper, error) {
+	run := p.newRun()
+	for i, st := range p.steps {
+		if p.isVariant[i] {
+			continue
+		}
+		if err := p.execStep(st, run.slots, run, false); err != nil {
+			return nil, err
+		}
+	}
+	return &Sweeper{plan: p, baseline: run.slots}, nil
+}
+
+// NewEval returns a per-goroutine evaluation context over the sweeper's
+// baseline.  A SweepEval must not be used concurrently.
+func (s *Sweeper) NewEval() *SweepEval {
+	run := s.plan.newRun()
+	copy(run.slots, s.baseline)
+	return &SweepEval{sw: s, run: run}
+}
+
+// SweepEval evaluates sweep points against a hoisted baseline, running
+// only the override-dependent cone per point.
+type SweepEval struct {
+	sw  *Sweeper
+	run *planRun
+}
+
+// At evaluates one override point and returns the design's root
+// totals.  Results are identical to EvaluateAt's root Power/Area/Delay;
+// any error means the caller should fall back to EvaluateAt for the
+// canonical message.
+func (e *SweepEval) At(ov map[string]float64) (power, area, delay float64, err error) {
+	p := e.sw.plan
+	slots := e.run.slots
+	for i, name := range p.overrideNames {
+		v, ok := ov[name]
+		if !ok {
+			return 0, 0, 0, fmt.Errorf("sweep point missing override %q", name)
+		}
+		slots[p.overrideSlots[i]] = v
+	}
+	for _, si := range p.variantSteps {
+		if err := p.execStep(p.steps[si], slots, e.run, false); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	base := p.nodeBase[p.rootIdx]
+	return slots[base+slotPower], slots[base+slotArea], slots[base+slotDelay], nil
+}
+
+// ---------------------------------------------------------------------
+// Compilation
+
+const (
+	visitNew uint8 = iota
+	visitActive
+	visitDone
+)
+
+// globalInfo tracks one reachable global binding during compilation.
+type globalInfo struct {
+	owner *Node
+	name  string
+	e     *expr.Expr
+	slot  int
+	state uint8
+}
+
+type globalKey struct {
+	owner *Node
+	name  string
+}
+
+// nodeInfo tracks one row during compilation.
+type nodeInfo struct {
+	n     *Node
+	idx   int
+	base  int
+	state uint8
+}
+
+// planDep is one edge discovered while compiling an expression: the
+// referenced global or row must be scheduled before the referencing
+// step.
+type planDep struct {
+	g *globalInfo
+	n *Node
+}
+
+type planCompiler struct {
+	d       *Design
+	ovSlots map[string]int
+	slots   int
+	globals map[globalKey]*globalInfo
+	nodes   map[*Node]*nodeInfo
+	plan    *Plan
+}
+
+// compilePlan builds the evaluation plan for a design and a sorted
+// override-name set.  Only statically reachable bindings are compiled,
+// preserving the interpreter's lazy-globals semantics; an error (a
+// static cycle) aborts the plan and the design evaluates through the
+// interpreter instead.
+func compilePlan(d *Design, names []string) (*Plan, error) {
+	p := &Plan{
+		design:        d,
+		overrideNames: names,
+		idxOf:         make(map[*Node]int),
+	}
+	pc := &planCompiler{
+		d:       d,
+		ovSlots: make(map[string]int, len(names)),
+		globals: make(map[globalKey]*globalInfo),
+		nodes:   make(map[*Node]*nodeInfo),
+		plan:    p,
+	}
+	for _, name := range names {
+		pc.ovSlots[name] = pc.slots
+		p.overrideSlots = append(p.overrideSlots, pc.slots)
+		pc.slots++
+	}
+	if err := pc.visitNode(d.Root); err != nil {
+		return nil, err
+	}
+	p.rootIdx = pc.nodes[d.Root].idx
+	p.slotCount = pc.slots
+	pc.markVariance()
+	return p, nil
+}
+
+// alloc reserves n consecutive slots.
+func (pc *planCompiler) alloc(n int) int {
+	s := pc.slots
+	pc.slots += n
+	return s
+}
+
+// nodeInfoFor assigns a row its index and result slots on first touch.
+func (pc *planCompiler) nodeInfoFor(n *Node) *nodeInfo {
+	ni, ok := pc.nodes[n]
+	if !ok {
+		ni = &nodeInfo{n: n, idx: len(pc.plan.nodes), base: pc.alloc(nodeSlots)}
+		pc.nodes[n] = ni
+		pc.plan.nodes = append(pc.plan.nodes, n)
+		pc.plan.nodeBase = append(pc.plan.nodeBase, ni.base)
+		pc.plan.idxOf[n] = ni.idx
+	}
+	return ni
+}
+
+// globalInfoFor assigns a global binding its slot on first touch.
+func (pc *planCompiler) globalInfoFor(owner *Node, name string, e *expr.Expr) *globalInfo {
+	key := globalKey{owner, name}
+	gi, ok := pc.globals[key]
+	if !ok {
+		gi = &globalInfo{owner: owner, name: name, e: e, slot: pc.alloc(1)}
+		pc.globals[key] = gi
+	}
+	return gi
+}
+
+// compileAt compiles one expression in a row's scope and returns the
+// program plus the dependencies its slots reference.
+func (pc *planCompiler) compileAt(n *Node, e *expr.Expr) (*expr.Program, []planDep) {
+	r := &planResolver{pc: pc, node: n}
+	prog := expr.CompileProgram(e, r)
+	return prog, r.deps
+}
+
+func (pc *planCompiler) visitDeps(deps []planDep) error {
+	for _, dep := range deps {
+		if dep.g != nil {
+			if err := pc.visitGlobal(dep.g); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := pc.visitNode(dep.n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// visitGlobal schedules a global binding's step after everything it
+// depends on, reusing the interpreter's cycle error text.
+func (pc *planCompiler) visitGlobal(gi *globalInfo) error {
+	switch gi.state {
+	case visitDone:
+		return nil
+	case visitActive:
+		return &EvalError{Path: gi.owner.Path(), Msg: fmt.Sprintf("circular definition of variable %q", gi.name)}
+	}
+	gi.state = visitActive
+	prog, deps := pc.compileAt(gi.owner, gi.e)
+	if err := pc.visitDeps(deps); err != nil {
+		return err
+	}
+	pc.plan.steps = append(pc.plan.steps, &planStep{kind: stepExpr, prog: prog, dst: gi.slot})
+	gi.state = visitDone
+	return nil
+}
+
+// visitNode schedules a row: its parameter programs, then its children,
+// then the row's own evaluate-and-aggregate step.
+func (pc *planCompiler) visitNode(n *Node) error {
+	ni := pc.nodeInfoFor(n)
+	switch ni.state {
+	case visitDone:
+		return nil
+	case visitActive:
+		return &EvalError{Path: n.Path(), Msg: "circular dependency between rows (through power()/area()/delay())"}
+	}
+	ni.state = visitActive
+	st := &planStep{
+		kind:      stepNode,
+		node:      n,
+		nodeIdx:   ni.idx,
+		base:      ni.base,
+		modelName: n.Model,
+		compose:   n.Delay,
+	}
+	if n.Model != "" {
+		for _, b := range n.Params {
+			prog, deps := pc.compileAt(n, b.Expr)
+			if err := pc.visitDeps(deps); err != nil {
+				return err
+			}
+			slot := pc.alloc(1)
+			pc.plan.steps = append(pc.plan.steps, &planStep{kind: stepExpr, prog: prog, dst: slot})
+			st.paramNames = append(st.paramNames, b.Name)
+			st.paramSlots = append(st.paramSlots, slot)
+		}
+		// Inherit the conventional scope parameters from enclosing
+		// globals when the row does not bind them itself, mirroring
+		// evalModelRow.
+	std:
+		for _, std := range [...]string{model.ParamVDD, model.ParamFreq, model.ParamTech} {
+			for _, bound := range st.paramNames {
+				if bound == std {
+					continue std
+				}
+			}
+			if s, ok := pc.ovSlots[std]; ok {
+				st.stdNames = append(st.stdNames, std)
+				st.stdSlots = append(st.stdSlots, s)
+				continue
+			}
+			for scope := n; scope != nil; scope = scope.parent {
+				if e := scope.Global(std); e != nil {
+					gi := pc.globalInfoFor(scope, std, e)
+					if err := pc.visitGlobal(gi); err != nil {
+						return err
+					}
+					st.stdNames = append(st.stdNames, std)
+					st.stdSlots = append(st.stdSlots, gi.slot)
+					break
+				}
+			}
+		}
+	}
+	for _, c := range n.Children {
+		if err := pc.visitNode(c); err != nil {
+			return err
+		}
+		st.childBases = append(st.childBases, pc.nodes[c].base)
+	}
+	pc.plan.steps = append(pc.plan.steps, st)
+	ni.state = visitDone
+	return nil
+}
+
+// markVariance splits the schedule into the override-dependent cone
+// and the invariant remainder.  A slot is variant when an override
+// writes it or a variant step writes it; a step is variant when it
+// reads a variant slot.  Program slot sets are conservative (branches
+// count), so invariance is never claimed falsely.
+func (pc *planCompiler) markVariance() {
+	p := pc.plan
+	variantSlot := make([]bool, p.slotCount)
+	for _, s := range p.overrideSlots {
+		variantSlot[s] = true
+	}
+	p.isVariant = make([]bool, len(p.steps))
+	for i, st := range p.steps {
+		variant := false
+		if st.kind == stepExpr {
+			for _, s := range st.prog.Slots() {
+				if variantSlot[s] {
+					variant = true
+					break
+				}
+			}
+			if variant {
+				variantSlot[st.dst] = true
+			}
+		} else {
+			for _, s := range st.paramSlots {
+				if variantSlot[s] {
+					variant = true
+					break
+				}
+			}
+			if !variant {
+				for _, s := range st.stdSlots {
+					if variantSlot[s] {
+						variant = true
+						break
+					}
+				}
+			}
+			if !variant {
+				for _, cb := range st.childBases {
+					if variantSlot[cb] {
+						variant = true
+						break
+					}
+				}
+			}
+			if variant {
+				for o := 0; o < nodeSlots; o++ {
+					variantSlot[st.base+o] = true
+				}
+			}
+		}
+		if variant {
+			p.isVariant[i] = true
+			p.variantSteps = append(p.variantSteps, i)
+		}
+	}
+	p.variantSlot = variantSlot
+}
+
+// planResolver implements expr.Resolver and expr.CallResolver for
+// expressions written at one row: overrides shadow every scope by
+// plain name (as the interpreter's lookupVar does), then globals
+// resolve through the scope chain, and the inter-row accessors lower
+// to slot reads of the target row's result block.
+type planResolver struct {
+	pc   *planCompiler
+	node *Node
+	deps []planDep
+}
+
+// ResolveVar implements expr.Resolver.
+func (r *planResolver) ResolveVar(name string) (int, bool) {
+	if s, ok := r.pc.ovSlots[name]; ok {
+		return s, true
+	}
+	for scope := r.node; scope != nil; scope = scope.parent {
+		if e := scope.Global(name); e != nil {
+			gi := r.pc.globalInfoFor(scope, name, e)
+			r.deps = append(r.deps, planDep{g: gi})
+			return gi.slot, true
+		}
+	}
+	return 0, false
+}
+
+// ResolveFunc implements expr.Resolver with the same host functions
+// nodeEnv provides (the same function values, so results and error
+// messages are identical).
+func (r *planResolver) ResolveFunc(name string) (expr.Func, bool) {
+	switch name {
+	case "dbtact":
+		return dbtactFunc, true
+	case "signact":
+		return signactFunc, true
+	}
+	return nil, false
+}
+
+// ClaimsCall implements expr.CallResolver for the inter-row accessors.
+func (r *planResolver) ClaimsCall(name string) bool {
+	switch name {
+	case "power", "area", "delay":
+		return true
+	}
+	return false
+}
+
+// ResolveCall lowers power("row")/area("row")/delay("row") to a read
+// of the target row's result slot.  Malformed or dangling sites lower
+// to lazy errors raised only if evaluated, matching the interpreter;
+// either way an error triggers interpreter fallback, which reproduces
+// the canonical message.
+func (r *planResolver) ResolveCall(name string, args []expr.CallArg) expr.CallLowering {
+	if len(args) != 1 || !args[0].IsStr {
+		return expr.CallLowering{Err: fmt.Errorf("%s() takes one quoted row path", name)}
+	}
+	ref := args[0].Str
+	target := r.pc.d.Resolve(r.node, ref)
+	if target == nil {
+		return expr.CallLowering{Err: fmt.Errorf("%s(%q): no such row", name, ref)}
+	}
+	ni := r.pc.nodeInfoFor(target)
+	r.deps = append(r.deps, planDep{n: target})
+	off := slotPower
+	switch name {
+	case "area":
+		off = slotArea
+	case "delay":
+		off = slotDelay
+	}
+	return expr.CallLowering{Slot: ni.base + off}
+}

@@ -1,0 +1,432 @@
+package sheet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"powerplay/internal/core/model"
+	"powerplay/internal/units"
+)
+
+// sameResult asserts two result trees are exactly equal — bit-identical
+// floats, same resolved parameters, same shape.  This is the compiled
+// path's correctness contract against the interpreter.
+func sameResult(t *testing.T, path string, a, b *Result) {
+	t.Helper()
+	if a.Node != b.Node {
+		t.Fatalf("%s: node mismatch: %v vs %v", path, a.Node, b.Node)
+	}
+	if a.Power != b.Power || a.DynamicPower != b.DynamicPower || a.StaticPower != b.StaticPower {
+		t.Errorf("%s: power %v/%v/%v vs %v/%v/%v", path,
+			a.Power, a.DynamicPower, a.StaticPower, b.Power, b.DynamicPower, b.StaticPower)
+	}
+	if a.Area != b.Area || a.Delay != b.Delay || a.EnergyPerOp != b.EnergyPerOp {
+		t.Errorf("%s: area/delay/epo %v/%v/%v vs %v/%v/%v", path,
+			a.Area, a.Delay, a.EnergyPerOp, b.Area, b.Delay, b.EnergyPerOp)
+	}
+	if len(a.Params) != len(b.Params) {
+		t.Errorf("%s: params %v vs %v", path, a.Params, b.Params)
+	} else {
+		for k, v := range a.Params {
+			if bv, ok := b.Params[k]; !ok || bv != v {
+				t.Errorf("%s: param %q %v vs %v", path, k, v, bv)
+			}
+		}
+	}
+	if (a.Estimate == nil) != (b.Estimate == nil) {
+		t.Errorf("%s: estimate presence %v vs %v", path, a.Estimate != nil, b.Estimate != nil)
+	}
+	if len(a.Children) != len(b.Children) {
+		t.Fatalf("%s: %d children vs %d", path, len(a.Children), len(b.Children))
+	}
+	for i := range a.Children {
+		sameResult(t, path+"/"+a.Children[i].Node.Name, a.Children[i], b.Children[i])
+	}
+}
+
+// bothWays evaluates a design through the compiled plan and through the
+// interpreter and demands identical trees (or identical error text).
+func bothWays(t *testing.T, d *Design, overrides map[string]float64) *Result {
+	t.Helper()
+	// Confirm the compiled path is actually exercised, not silently
+	// falling back.
+	if _, err := d.PlanFor(overrideNames(overrides)); err != nil {
+		t.Fatalf("plan does not compile: %v", err)
+	}
+	rc, errC := d.EvaluateAt(overrides)
+	ri, errI := d.EvaluateInterpreted(overrides)
+	if (errC == nil) != (errI == nil) {
+		t.Fatalf("paths disagree on failure: compiled err=%v, interpreted err=%v", errC, errI)
+	}
+	if errC != nil {
+		if errC.Error() != errI.Error() {
+			t.Fatalf("error text differs:\ncompiled:    %v\ninterpreted: %v", errC, errI)
+		}
+		return nil
+	}
+	sameResult(t, "", rc, ri)
+	return rc
+}
+
+// planTestDesign builds a sheet covering the features the compiler must
+// reproduce: derived globals, scope shadowing, std inheritance, chain
+// composition, inter-row power()/delay() and a converter row.
+func planTestDesign(t *testing.T) *Design {
+	t.Helper()
+	d := NewDesign("plan", testRegistry())
+	d.Root.SetGlobalValue("vdd", 1.5, "1.5")
+	d.Root.SetGlobalValue("f", 2e6, "2MHz")
+	if err := d.Root.SetGlobal("width", "8*2"); err != nil {
+		t.Fatal(err)
+	}
+	a := d.Root.MustAddChild("alpha", "cell")
+	if err := a.SetParam("bits", "width"); err != nil {
+		t.Fatal(err)
+	}
+	sub := d.Root.MustAddChild("sub", "")
+	sub.Delay = ComposeChain
+	sub.SetGlobalValue("vdd", 1.2, "1.2") // shadowed supply for the subtree
+	b := sub.MustAddChild("beta", "cell")
+	if err := b.SetParam("bits", "width/2"); err != nil {
+		t.Fatal(err)
+	}
+	c := sub.MustAddChild("gamma", "cell")
+	if err := c.SetParam("act", "vdd > 1 ? 0.5 : 1.5"); err != nil {
+		t.Fatal(err)
+	}
+	conv := d.Root.MustAddChild("conv", "loss")
+	if err := conv.SetParam("pload", `power("sub") + power("alpha")`); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPlanMatchesInterpreter(t *testing.T) {
+	d := planTestDesign(t)
+	bothWays(t, d, nil)
+	bothWays(t, d, map[string]float64{"vdd": 2.0})
+	bothWays(t, d, map[string]float64{"vdd": 0.9, "f": 5e6})
+	// Overrides shadow every scope by plain name, including the
+	// subtree-shadowed vdd and the derived width.
+	r := bothWays(t, d, map[string]float64{"width": 4})
+	if got := r.Find("alpha").Params["bits"]; got != 4 {
+		t.Errorf("override not applied through plan: bits = %v", got)
+	}
+}
+
+func TestPlanUnusedBrokenGlobalStaysLazy(t *testing.T) {
+	// The interpreter only evaluates globals on reference; the plan must
+	// preserve that by compiling only reachable bindings.
+	d := planTestDesign(t)
+	if err := d.Root.SetGlobal("broken", "no_such_var * 2"); err != nil {
+		t.Fatal(err)
+	}
+	bothWays(t, d, nil)
+}
+
+func TestPlanErrorsMatchInterpreter(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(t *testing.T) *Design
+	}{
+		{"row cycle", func(t *testing.T) *Design {
+			d := NewDesign("cyc", testRegistry())
+			d.Root.SetGlobalValue("vdd", 1.5, "1.5")
+			d.Root.SetGlobalValue("f", 1e6, "1e6")
+			a := d.Root.MustAddChild("a", "loss")
+			b := d.Root.MustAddChild("b", "loss")
+			if err := a.SetParam("pload", `power("b")`); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.SetParam("pload", `power("a")`); err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}},
+		{"global cycle", func(t *testing.T) *Design {
+			d := NewDesign("cyc", testRegistry())
+			d.Root.SetGlobalValue("f", 1e6, "1e6")
+			if err := d.Root.SetGlobal("vdd", "x+1"); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Root.SetGlobal("x", "vdd*2"); err != nil {
+				t.Fatal(err)
+			}
+			d.Root.MustAddChild("a", "cell")
+			return d
+		}},
+		{"unknown model", func(t *testing.T) *Design {
+			d := NewDesign("bad", testRegistry())
+			d.Root.SetGlobalValue("vdd", 1.5, "1.5")
+			d.Root.SetGlobalValue("f", 1e6, "1e6")
+			d.Root.MustAddChild("a", "nosuchmodel")
+			return d
+		}},
+		{"unknown parameter", func(t *testing.T) *Design {
+			d := NewDesign("bad", testRegistry())
+			d.Root.SetGlobalValue("vdd", 1.5, "1.5")
+			d.Root.SetGlobalValue("f", 1e6, "1e6")
+			a := d.Root.MustAddChild("a", "cell")
+			if err := a.SetParam("frobs", "3"); err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}},
+		{"range violation", func(t *testing.T) *Design {
+			d := NewDesign("bad", testRegistry())
+			d.Root.SetGlobalValue("vdd", 1.5, "1.5")
+			d.Root.SetGlobalValue("f", 1e6, "1e6")
+			a := d.Root.MustAddChild("a", "cell")
+			if err := a.SetParam("bits", "4096"); err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}},
+		{"undefined variable", func(t *testing.T) *Design {
+			d := NewDesign("bad", testRegistry())
+			d.Root.SetGlobalValue("vdd", 1.5, "1.5")
+			d.Root.SetGlobalValue("f", 1e6, "1e6")
+			a := d.Root.MustAddChild("a", "cell")
+			if err := a.SetParam("bits", "mystery"); err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}},
+		{"dangling power ref", func(t *testing.T) *Design {
+			d := NewDesign("bad", testRegistry())
+			d.Root.SetGlobalValue("vdd", 1.5, "1.5")
+			d.Root.SetGlobalValue("f", 1e6, "1e6")
+			a := d.Root.MustAddChild("a", "loss")
+			if err := a.SetParam("pload", `power("ghost")`); err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := tc.build(t)
+			_, errC := d.Evaluate()
+			_, errI := d.EvaluateInterpreted(nil)
+			if errC == nil || errI == nil {
+				t.Fatalf("expected both paths to fail: compiled=%v interpreted=%v", errC, errI)
+			}
+			if errC.Error() != errI.Error() {
+				t.Fatalf("error text differs:\ncompiled:    %v\ninterpreted: %v", errC, errI)
+			}
+		})
+	}
+}
+
+func TestPlanCacheReuseAndInvalidation(t *testing.T) {
+	d := planTestDesign(t)
+	p1, err := d.PlanFor(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := d.PlanFor(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("unchanged design should reuse its cached plan")
+	}
+	// Distinct override-name sets compile distinct plans.
+	pv, err := d.PlanFor([]string{"vdd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv == p1 {
+		t.Fatal("override set must key the plan cache")
+	}
+	// Any edit invalidates: a rebound cell...
+	if err := d.Root.Find("alpha").SetParam("bits", "width+2"); err != nil {
+		t.Fatal(err)
+	}
+	p3, err := d.PlanFor(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Fatal("SetParam must invalidate the plan cache")
+	}
+	r, err := d.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Find("alpha").Params["bits"]; got != 18 {
+		t.Errorf("stale plan: bits = %v, want 18", got)
+	}
+	// ...a structural edit...
+	d.Root.MustAddChild("extra", "cell")
+	p4, err := d.PlanFor(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4 == p3 {
+		t.Fatal("AddChild must invalidate the plan cache")
+	}
+	// ...and a global edit.
+	d.Root.SetGlobalValue("width", 10, "10")
+	p5, err := d.PlanFor(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p5 == p4 {
+		t.Fatal("SetGlobalValue must invalidate the plan cache")
+	}
+}
+
+func TestPlanPicksUpReRegisteredModel(t *testing.T) {
+	d := NewDesign("regen", testRegistry())
+	d.Root.SetGlobalValue("vdd", 1.5, "1.5")
+	d.Root.SetGlobalValue("f", 1e6, "1e6")
+	d.Root.MustAddChild("a", "cell")
+	r1, err := d.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-register "cell" with doubled switched capacitance; the plan is
+	// unchanged but its per-row model cache must refresh (registry
+	// generation), exactly as the interpreter would.
+	d.Registry.MustRegister(&model.Func{
+		Meta: model.Info{
+			Name: "cell", Title: "test cell v2", Class: model.Computation, Doc: "d",
+			Params: model.WithStd(
+				model.Param{Name: "bits", Default: 8, Min: 1, Max: 1024, Integer: true},
+				model.Param{Name: "act", Default: 1, Min: 0, Max: 2},
+			),
+		},
+		Fn: func(p model.Params) (*model.Estimate, error) {
+			e := &model.Estimate{VDD: p.VDD()}
+			e.AddCap("c", units.Farads(p["act"]*p["bits"]*200e-15), p.Freq())
+			return e, nil
+		},
+	})
+	r2, err := d.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(r2.Power) != 2*float64(r1.Power) {
+		t.Errorf("re-registered model not picked up: %v then %v", r1.Power, r2.Power)
+	}
+	sameResult(t, "", r2, mustInterp(t, d))
+}
+
+func mustInterp(t *testing.T, d *Design) *Result {
+	t.Helper()
+	r, err := d.EvaluateInterpreted(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSweeperMatchesEvaluateAt(t *testing.T) {
+	d := planTestDesign(t)
+	plan, err := d.PlanFor([]string{"vdd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.VariantSteps() >= plan.Steps() {
+		t.Fatalf("hoisting found no invariant work: %d of %d steps variant",
+			plan.VariantSteps(), plan.Steps())
+	}
+	sw, err := plan.NewSweeper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := sw.NewEval()
+	for _, vdd := range []float64{0.8, 1.0, 1.5, 2.0, 3.3} {
+		ov := map[string]float64{"vdd": vdd}
+		power, area, delay, err := ev.At(ov)
+		if err != nil {
+			t.Fatalf("vdd=%g: %v", vdd, err)
+		}
+		full, err := d.EvaluateAt(ov)
+		if err != nil {
+			t.Fatalf("vdd=%g: %v", vdd, err)
+		}
+		if power != float64(full.Power) || area != float64(full.Area) || delay != float64(full.Delay) {
+			t.Errorf("vdd=%g: hoisted %v/%v/%v, full %v/%v/%v",
+				vdd, power, area, delay, full.Power, full.Area, full.Delay)
+		}
+	}
+}
+
+func TestPlanConcurrentSharedUse(t *testing.T) {
+	// Many goroutines share one design, its cached plan and one Sweeper:
+	// the mix the exploration engine produces under -race.
+	d := planTestDesign(t)
+	want, err := d.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := d.PlanFor([]string{"vdd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := plan.NewSweeper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ev := sw.NewEval()
+			for i := 0; i < 50; i++ {
+				r, err := d.Evaluate()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if r.Power != want.Power {
+					errs <- fmt.Errorf("goroutine %d: power %v, want %v", g, r.Power, want.Power)
+					return
+				}
+				vdd := 1.0 + float64((g+i)%10)*0.2
+				p1, _, _, err := ev.At(map[string]float64{"vdd": vdd})
+				if err != nil {
+					errs <- err
+					return
+				}
+				full, err := d.EvaluateAt(map[string]float64{"vdd": vdd})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if p1 != float64(full.Power) {
+					errs <- fmt.Errorf("goroutine %d: hoisted %v, full %v at vdd=%g", g, p1, full.Power, vdd)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestEvaluateTotalsMatchesEvaluate(t *testing.T) {
+	d := planTestDesign(t)
+	for _, ov := range []map[string]float64{nil, {"vdd": 2.2}, {"width": 6, "f": 3e6}} {
+		power, area, delay, err := d.EvaluateTotals(ov)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := d.EvaluateAt(ov)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if power != float64(full.Power) || area != float64(full.Area) || delay != float64(full.Delay) {
+			t.Errorf("totals %v/%v/%v, full %v/%v/%v at %v",
+				power, area, delay, full.Power, full.Area, full.Delay, ov)
+		}
+	}
+}

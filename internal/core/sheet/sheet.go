@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"powerplay/internal/core/model"
 	"powerplay/internal/expr"
@@ -68,6 +70,21 @@ type Node struct {
 	Children []*Node
 
 	parent *Node
+
+	// epoch counts mutations over the subtree rooted here.  Only the
+	// value on a tree's root is meaningful: every mutator bumps the
+	// root's counter, which lets the evaluation-plan cache skip its
+	// fingerprint walk when nothing changed (see plan.go).
+	epoch atomic.Uint64
+}
+
+// bump records a mutation on the tree containing n.
+func (n *Node) bump() {
+	r := n
+	for r.parent != nil {
+		r = r.parent
+	}
+	r.epoch.Add(1)
 }
 
 // Design is a complete sheet bound to a model library.
@@ -81,6 +98,18 @@ type Design struct {
 	Root *Node
 	// Registry resolves model names.
 	Registry *model.Registry
+
+	// Compiled-plan cache (see plan.go).  Guarded by planMu; planFP is
+	// the content fingerprint the cached plans were compiled against, so
+	// any tree edit invalidates them on the next PlanFor call.  The
+	// fingerprint itself is cached against the root's mutation epoch.
+	planMu  sync.Mutex
+	planFP  uint64
+	plans   map[string]*planEntry
+	fpRoot  *Node
+	fpEpoch uint64
+	fpVal   uint64
+	fpValid bool
 }
 
 // NewDesign creates an empty sheet over a library.
@@ -117,6 +146,7 @@ func (n *Node) AddChild(name, modelName string) (*Node, error) {
 	}
 	c := &Node{Name: name, Model: modelName, parent: n}
 	n.Children = append(n.Children, c)
+	n.bump()
 	return c, nil
 }
 
@@ -146,6 +176,7 @@ func (n *Node) RemoveChild(name string) bool {
 		if c.Name == name {
 			n.Children = append(n.Children[:i], n.Children[i+1:]...)
 			c.parent = nil
+			n.bump()
 			return true
 		}
 	}
@@ -174,6 +205,7 @@ func (n *Node) SetParam(name, src string) error {
 		return fmt.Errorf("sheet: row %q param %q: %w", n.Name, name, err)
 	}
 	set(&n.Params, name, e)
+	n.bump()
 	return nil
 }
 
@@ -181,13 +213,20 @@ func (n *Node) SetParam(name, src string) error {
 // engineering-notation spelling.
 func (n *Node) SetParamValue(name string, v float64, text string) {
 	set(&n.Params, name, expr.Literal(v, text))
+	n.bump()
 }
 
 // Param returns the binding for name, or nil.
 func (n *Node) Param(name string) *expr.Expr { return get(n.Params, name) }
 
 // DeleteParam removes a binding; it reports whether it existed.
-func (n *Node) DeleteParam(name string) bool { return del(&n.Params, name) }
+func (n *Node) DeleteParam(name string) bool {
+	ok := del(&n.Params, name)
+	if ok {
+		n.bump()
+	}
+	return ok
+}
 
 // SetGlobal introduces (or rebinds) a variable at this level.
 func (n *Node) SetGlobal(name, src string) error {
@@ -199,19 +238,27 @@ func (n *Node) SetGlobal(name, src string) error {
 		return fmt.Errorf("sheet: row %q variable %q: %w", n.Name, name, err)
 	}
 	set(&n.Globals, name, e)
+	n.bump()
 	return nil
 }
 
 // SetGlobalValue introduces a variable bound to a literal.
 func (n *Node) SetGlobalValue(name string, v float64, text string) {
 	set(&n.Globals, name, expr.Literal(v, text))
+	n.bump()
 }
 
 // Global returns the variable binding at this level, or nil.
 func (n *Node) Global(name string) *expr.Expr { return get(n.Globals, name) }
 
 // DeleteGlobal removes a variable; it reports whether it existed.
-func (n *Node) DeleteGlobal(name string) bool { return del(&n.Globals, name) }
+func (n *Node) DeleteGlobal(name string) bool {
+	ok := del(&n.Globals, name)
+	if ok {
+		n.bump()
+	}
+	return ok
+}
 
 func set(bindings *[]Binding, name string, e *expr.Expr) {
 	for i := range *bindings {
@@ -303,4 +350,5 @@ func (n *Node) SortChildren() {
 	sort.Slice(n.Children, func(i, j int) bool {
 		return n.Children[i].Name < n.Children[j].Name
 	})
+	n.bump()
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // Node is an expression tree node.
@@ -129,10 +130,21 @@ func needParens(n Node) bool {
 type Expr struct {
 	src  string
 	root Node
+	id   uint64
 }
+
+// nextExprID hands each Expr a process-unique identity (see Expr.ID).
+var nextExprID atomic.Uint64
 
 // Source returns the original source text of the expression.
 func (e *Expr) Source() string { return e.src }
+
+// ID returns a process-unique identity for the expression.  Because an
+// Expr is immutable after Compile and rebinding a cell swaps pointers
+// rather than mutating in place, a hash over binding IDs fingerprints a
+// sheet's expression content — what the evaluation-plan cache uses to
+// detect edits.
+func (e *Expr) ID() uint64 { return e.id }
 
 // Root returns the root of the parse tree.
 func (e *Expr) Root() Node { return e.root }
@@ -232,7 +244,7 @@ func Literal(v float64, text string) *Expr {
 	if text == "" {
 		text = strconv.FormatFloat(v, 'g', -1, 64)
 	}
-	return &Expr{src: text, root: &Num{Value: v, Text: text}}
+	return &Expr{src: text, root: &Num{Value: v, Text: text}, id: nextExprID.Add(1)}
 }
 
 // MustCompile is Compile that panics on error; for use with expression

@@ -34,7 +34,7 @@ func Compile(src string) (*Expr, error) {
 	if p.tok.kind != tokEOF {
 		return nil, errf(src, p.tok.pos, "unexpected %s", p.tok)
 	}
-	return &Expr{src: src, root: root}, nil
+	return &Expr{src: src, root: root, id: nextExprID.Add(1)}, nil
 }
 
 func (p *parser) advance() {

@@ -33,6 +33,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"powerplay/internal/core/explore"
 	"powerplay/internal/core/model"
@@ -51,6 +52,10 @@ type Config struct {
 	// remote model API ("PowerPlay can provide password-restricted
 	// access").
 	Password string
+	// SweepTimeout caps one exploration-page sweep request; zero or
+	// negative selects the 30 s default.  Sites mounting slow remote
+	// models may need more; batch test rigs may want much less.
+	SweepTimeout time.Duration
 }
 
 // User is one identified user's server-side state.

@@ -27,11 +27,20 @@ import (
 // sweep mid-flight, and sweepTimeout caps how long a pathological
 // range may hold a worker pool.
 
-// sweepTimeout bounds one sweep request.  The UI caps ranges at 200
-// steps and a step evaluates in microseconds, so a healthy sweep ends
-// ~6 orders of magnitude sooner; hitting this means a remote model is
-// stalling, and the user gets told instead of a hung page.
-const sweepTimeout = 30 * time.Second
+// defaultSweepTimeout bounds one sweep request when Config.SweepTimeout
+// is unset.  The UI caps ranges at 200 steps and a step evaluates in
+// microseconds, so a healthy sweep ends ~6 orders of magnitude sooner;
+// hitting this means a remote model is stalling, and the user gets told
+// instead of a hung page.
+const defaultSweepTimeout = 30 * time.Second
+
+// sweepTimeout resolves the configured per-request sweep budget.
+func (s *Server) sweepTimeout() time.Duration {
+	if t := s.cfg.SweepTimeout; t > 0 {
+		return t
+	}
+	return defaultSweepTimeout
+}
 
 type sweepPage struct {
 	base
@@ -108,7 +117,7 @@ func (s *Server) handleDesignSweep(w http.ResponseWriter, r *http.Request, u *Us
 	cache := s.sweepCacheFor(u.Name, d.Name, designEpoch(d))
 	s.mu.RUnlock()
 
-	ctx, cancel := context.WithTimeout(r.Context(), sweepTimeout)
+	ctx, cancel := context.WithTimeout(r.Context(), s.sweepTimeout())
 	defer cancel()
 	runner := &explore.Runner{Cache: cache}
 	pts, err := runner.Sweep(ctx, snap, page.Var, explore.Linspace(from, to, steps))
@@ -119,7 +128,7 @@ func (s *Server) handleDesignSweep(w http.ResponseWriter, r *http.Request, u *Us
 			return
 		case errors.Is(err, context.DeadlineExceeded):
 			fail(http.StatusServiceUnavailable,
-				fmt.Sprintf("sweep timed out after %s — a model is stalling; try fewer steps", sweepTimeout))
+				fmt.Sprintf("sweep timed out after %s — a model is stalling; try fewer steps", s.sweepTimeout()))
 		default:
 			// An evaluation failure names the offending point and row;
 			// surface it instead of an empty table.

@@ -119,6 +119,44 @@ func TestSweepDeadlineReported(t *testing.T) {
 	}
 }
 
+// TestSweepTimeoutConfigurable: Config.SweepTimeout replaces the
+// built-in 30 s budget, and its value appears in the timeout message.
+func TestSweepTimeoutConfigurable(t *testing.T) {
+	s, ts, c := site(t, Config{SweepTimeout: 250 * time.Millisecond})
+	if got := s.sweepTimeout(); got != 250*time.Millisecond {
+		t.Fatalf("sweepTimeout() = %v", got)
+	}
+	loginAs(t, ts, c, "u", "")
+	post(t, c, ts.URL+"/designs", url.Values{"name": {"d"}})
+	post(t, c, ts.URL+"/cell/"+library.SRAM, url.Values{
+		"p_words": {"1024"}, "p_bits": {"8"},
+		"action": {"Add to design"}, "design": {"d"}, "row": {"mem"},
+	})
+	// A healthy sweep finishes far inside 250 ms.
+	if code, _ := fetch(t, c, ts.URL+"/design/d/sweep"); code != 200 {
+		t.Fatalf("sweep under configured budget: %d", code)
+	}
+	// An already-expired budget renders the configured value.
+	u := s.users["u"]
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	r := httptest.NewRequest("GET", "/design/d/sweep?var=vdd&from=1.0&to=3.3&steps=8", nil).WithContext(ctx)
+	r.SetPathValue("name", "d")
+	w := httptest.NewRecorder()
+	s.handleDesignSweep(w, r, u)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("deadline status = %d, want 503", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "250ms") {
+		t.Errorf("configured timeout not surfaced:\n%s", grep(w.Body.String(), "timed"))
+	}
+	// The zero value keeps the original default.
+	var unset Server
+	if got := unset.sweepTimeout(); got != defaultSweepTimeout {
+		t.Fatalf("default sweepTimeout() = %v, want %v", got, defaultSweepTimeout)
+	}
+}
+
 // TestSweepCacheReuseAndInvalidation: a repeated sweep hits the
 // memoized points; editing the design retires the cache.
 func TestSweepCacheReuseAndInvalidation(t *testing.T) {
