@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench repro examples libdoc clean
+.PHONY: all build test vet race bench faultsim repro examples libdoc clean
 
 all: build vet test
 
@@ -20,6 +20,14 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The fault-injection suite: the faultnet harness plus the remote
+# resilience and hardening tests, raced and repeated to shake out
+# timing-dependent retry/breaker/cancellation bugs.
+faultsim:
+	$(GO) test -race -count=3 ./internal/faultnet/
+	$(GO) test -race -count=3 -run 'TestRemote|TestBreaker|TestMount|TestRefresh|TestSheetDegrades|TestSweepClientDisconnect|TestRecoverMiddleware|TestBodyLimit|TestRequestTimeout' ./internal/web/
+	$(GO) test -race -count=3 -run 'TestServeGracefulShutdown' ./cmd/powerplay/
 
 # Regenerate every figure, table and ablation from the paper.
 repro:

@@ -12,13 +12,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"powerplay/internal/core/sheet"
 	"powerplay/internal/infopad"
@@ -70,10 +76,61 @@ func main() {
 		handler = withPprof(handler)
 		log.Printf("profiling enabled at http://%s/debug/pprof/", *addr)
 	}
-	log.Printf("%s listening on http://%s", *siteName, *addr)
-	if err := http.ListenAndServe(*addr, handler); err != nil {
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	// Log the *bound* address: with ":0" the chosen port is otherwise
+	// unknowable, and logging before Serve means "no line in the log"
+	// reliably reads as "never came up".
+	log.Printf("%s listening on http://%s", *siteName, ln.Addr())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := serve(ctx, ln, handler); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	log.Printf("%s shut down cleanly", *siteName)
+}
+
+// shutdownGrace bounds how long a stopping server waits for in-flight
+// requests (a running sweep, a slow remote eval) before closing hard.
+const shutdownGrace = 10 * time.Second
+
+// serve runs an http.Server over the listener until ctx is canceled
+// (SIGINT/SIGTERM in production), then drains in-flight requests.
+// http.ErrServerClosed is the *clean* exit — only real serve or
+// shutdown failures return an error.
+func serve(ctx context.Context, ln net.Listener, handler http.Handler) error {
+	hs := &http.Server{
+		Handler: handler,
+		// Transport-level hardening: a client that dribbles its header
+		// bytes or parks idle keep-alives cannot pin a connection
+		// forever.  Handler deadlines live in web.Config.RequestTimeout.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		log.Printf("shutting down (draining up to %s)", shutdownGrace)
+		sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			hs.Close()
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
 	}
 }
 

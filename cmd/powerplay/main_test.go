@@ -1,11 +1,54 @@
 package main
 
 import (
+	"context"
+	"io"
+	"net"
+	"net/http"
 	"testing"
+	"time"
 
 	"powerplay/internal/library"
 	"powerplay/internal/web"
 )
+
+// TestServeGracefulShutdown proves the server lifecycle: it serves
+// traffic, and canceling the context (what SIGINT/SIGTERM do in main)
+// drains and exits cleanly — http.ErrServerClosed is not an error.
+func TestServeGracefulShutdown(t *testing.T) {
+	srv, err := web.NewServer(web.Config{}, library.Standard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, ln, srv.Handler()) }()
+
+	// The site answers while serving.
+	resp, err := http.Get("http://" + ln.Addr().String() + "/api/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("live server: %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown should be a clean exit, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after context cancellation")
+	}
+}
 
 func TestSeedDesigns(t *testing.T) {
 	srv, err := web.NewServer(web.Config{}, library.Standard())

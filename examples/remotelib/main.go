@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"net"
@@ -55,6 +56,22 @@ func main() {
 	powerplay.Report(os.Stdout, d, r)
 	fmt.Println("\nevery row above was evaluated by the Berkeley server over HTTP;")
 	fmt.Println("parameter schemas were fetched once, so validation stays local.")
+
+	// --- the publisher goes down mid-session ---
+	hs.Close()
+	fmt.Println("\nBerkeley site gone; sheet still evaluates (degraded mode):")
+	r2, err := d.Evaluate()
+	check(err)
+	fmt.Printf("  total power %v (unchanged: %v)\n", r2.Power, r2.Power == r.Power)
+	for i, row := range r2.Children {
+		for _, note := range row.Estimate.Notes {
+			fmt.Printf("  %s: %s\n", d.Root.Children[i].Name, note)
+		}
+	}
+	// A point never evaluated before has no cached value to serve.
+	if _, err := d.EvaluateAt(map[string]float64{"vdd": 2.5}); errors.Is(err, powerplay.ErrRemoteUnavailable) {
+		fmt.Println("  a never-evaluated point fails typed: ErrRemoteUnavailable")
+	}
 }
 
 func check(err error) {

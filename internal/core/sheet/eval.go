@@ -59,6 +59,11 @@ type EvalError struct {
 	Path string
 	// Msg describes the failure.
 	Msg string
+	// Err, when non-nil, is the underlying cause, preserved so typed
+	// errors (a mounted remote model's unavailability, a context
+	// cancellation) survive sheet evaluation for errors.Is/As.  The
+	// rendered message is Msg either way.
+	Err error
 }
 
 func (e *EvalError) Error() string {
@@ -68,6 +73,9 @@ func (e *EvalError) Error() string {
 	}
 	return fmt.Sprintf("sheet: %s: %s", where, e.Msg)
 }
+
+// Unwrap exposes the underlying cause to errors.Is and errors.As.
+func (e *EvalError) Unwrap() error { return e.Err }
 
 // Evaluate computes the whole design — the Play button.
 //
@@ -395,7 +403,10 @@ func (ev *evaluator) evalModelRow(n *Node, r *Result) error {
 	}
 	est, err := model.Evaluate(m, params)
 	if err != nil {
-		return ev.errf(n, "%v", err)
+		// Keep the cause: the message is identical to errf's "%v", but
+		// errors.Is still sees through to typed model errors (e.g. a
+		// remote library's ErrRemoteUnavailable).
+		return &EvalError{Path: n.Path(), Msg: err.Error(), Err: err}
 	}
 	r.Estimate = est
 	r.Params = params

@@ -1,0 +1,82 @@
+package web
+
+import (
+	"context"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// Server-side hardening for a site under heavy (or hostile) traffic:
+// the handler stack returned by Server.Handler wraps the application
+// mux in, outermost first,
+//
+//  1. panic recovery — one evaluating model that panics turns into a
+//     500 and a logged stack, not a dead worker process;
+//  2. a request-body cap — no client can stream an unbounded design
+//     import (or eval payload) into memory; and
+//  3. a per-request context timeout — every handler's r.Context() has
+//     a deadline, so a stalled remote model or a pathological sweep
+//     cannot hold a connection forever.
+//
+// The companion settings live in Config (MaxBodyBytes, RequestTimeout);
+// transport-level limits (header read timeout, idle timeout, graceful
+// shutdown) belong to the http.Server that fronts this handler — see
+// cmd/powerplay.
+
+// defaultMaxBodyBytes caps request bodies when Config.MaxBodyBytes is
+// unset.  Design imports are the largest legitimate payload; the
+// paper-scale sheets serialize to a few kilobytes, so 4 MiB is three
+// orders of magnitude of headroom.
+const defaultMaxBodyBytes = 4 << 20
+
+// defaultRequestTimeout bounds one request's context when
+// Config.RequestTimeout is unset: comfortably above the 30 s default
+// sweep budget, far below "forever".
+const defaultRequestTimeout = 2 * time.Minute
+
+// recoverMiddleware converts handler panics into 500 responses with a
+// logged stack trace.  http.ErrAbortHandler passes through: it is the
+// sanctioned way to drop a connection mid-response.
+func recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			log.Printf("powerplay: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			// Best effort: if the handler already wrote headers this is
+			// a no-op and the connection is dropped instead.
+			http.Error(w, "internal server error", http.StatusInternalServerError)
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// limitBodyMiddleware caps every request body at max bytes.  Reads past
+// the cap fail and MaxBytesReader closes the connection, so oversized
+// payloads surface as request errors in whatever handler is decoding.
+func limitBodyMiddleware(next http.Handler, max int64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, max)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// timeoutMiddleware gives every request context a deadline.  Handlers
+// that respect r.Context() (the sweep engine, remote fetches) stop; the
+// rest at least inherit a bounded outgoing-call budget.
+func timeoutMiddleware(next http.Handler, d time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}

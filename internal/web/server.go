@@ -56,6 +56,13 @@ type Config struct {
 	// negative selects the 30 s default.  Sites mounting slow remote
 	// models may need more; batch test rigs may want much less.
 	SweepTimeout time.Duration
+	// RequestTimeout is the deadline given to every request's context;
+	// zero selects a 2 min default (above any sweep budget), negative
+	// disables the deadline.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps any request body; zero selects a 4 MiB
+	// default, negative disables the cap.
+	MaxBodyBytes int64
 }
 
 // User is one identified user's server-side state.
@@ -204,7 +211,44 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/models/{name...}", s.apiAuth(s.apiModelInfo))
 	mux.HandleFunc("POST /api/eval", s.apiAuth(s.apiEval))
 	mux.HandleFunc("GET /api/equations", s.apiAuth(s.apiEquations))
-	return mux
+	// Hardening stack (see middleware.go): recovery outermost so it
+	// also covers the inner middleware, then the body cap, then the
+	// per-request deadline.
+	var h http.Handler = mux
+	if d := s.requestTimeout(); d > 0 {
+		h = timeoutMiddleware(h, d)
+	}
+	if max := s.maxBodyBytes(); max > 0 {
+		h = limitBodyMiddleware(h, max)
+	}
+	return recoverMiddleware(h)
+}
+
+// requestTimeout resolves the per-request context deadline (0 = off).
+// The default never undercuts the sweep budget: a site configured for
+// long sweeps gets a correspondingly longer request deadline.
+func (s *Server) requestTimeout() time.Duration {
+	switch {
+	case s.cfg.RequestTimeout > 0:
+		return s.cfg.RequestTimeout
+	case s.cfg.RequestTimeout < 0:
+		return 0
+	}
+	if d := s.sweepTimeout() + 30*time.Second; d > defaultRequestTimeout {
+		return d
+	}
+	return defaultRequestTimeout
+}
+
+// maxBodyBytes resolves the request-body cap (0 = off).
+func (s *Server) maxBodyBytes() int64 {
+	switch {
+	case s.cfg.MaxBodyBytes > 0:
+		return s.cfg.MaxBodyBytes
+	case s.cfg.MaxBodyBytes < 0:
+		return 0
+	}
+	return defaultMaxBodyBytes
 }
 
 // ----- sessions -----

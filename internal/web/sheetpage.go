@@ -30,6 +30,10 @@ type sheetRow struct {
 	Power       string
 	Area        string
 	Delay       string
+	// Stale carries a degraded-mode note when this row's estimate was
+	// served from the remote client's last-known-good cache because
+	// the publishing site is unavailable.
+	Stale string
 }
 
 type sheetParam struct {
@@ -71,6 +75,12 @@ func (s *Server) buildSheetPage(d *sheet.Design) sheetPage {
 			if res != nil {
 				if res.Estimate != nil {
 					row.Energy = units.Sci(float64(res.EnergyPerOp), "J")
+					for _, note := range res.Estimate.Notes {
+						if strings.HasPrefix(note, staleNotePrefix) {
+							row.Stale = note
+							break
+						}
+					}
 				}
 				row.Power = units.Sci(float64(res.Power), "W")
 				row.Area = res.Area.String()

@@ -1,0 +1,79 @@
+package web
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// staleCache is the Remote client's bounded last-known-good store: the
+// most recent successful evaluation per (model, parameter point).  When
+// the publisher is unreachable, a mounted proxy model answers from here
+// — visibly marked stale — instead of failing the whole hierarchical
+// evaluation.  LRU eviction bounds memory; the cache is shared by all
+// proxy models mounted through one Remote, matching the per-site
+// breaker's blame granularity.
+type staleCache struct {
+	mu    sync.Mutex
+	limit int
+	ll    *list.List               // front = most recent
+	idx   map[string]*list.Element // key → element whose Value is *staleEntry
+}
+
+type staleEntry struct {
+	key string
+	est *EstimateJSON
+	at  time.Time
+}
+
+// defaultStaleLimit bounds the last-known-good cache when the Remote
+// does not choose a size.  A sweep touches at most a few hundred
+// points per design, so this holds several sweeps' worth of estimates
+// in a few hundred kilobytes.
+const defaultStaleLimit = 512
+
+func newStaleCache(limit int) *staleCache {
+	if limit <= 0 {
+		limit = defaultStaleLimit
+	}
+	return &staleCache{limit: limit, ll: list.New(), idx: make(map[string]*list.Element)}
+}
+
+// put stores (or refreshes) the last good estimate for a key.
+func (c *staleCache) put(key string, est *EstimateJSON) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[key]; ok {
+		en := el.Value.(*staleEntry)
+		en.est, en.at = est, time.Now()
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.idx[key] = c.ll.PushFront(&staleEntry{key: key, est: est, at: time.Now()})
+	for c.ll.Len() > c.limit {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.idx, oldest.Value.(*staleEntry).key)
+	}
+}
+
+// get returns the last good estimate for a key, and when it was stored.
+// A hit counts as a use for LRU purposes.
+func (c *staleCache) get(key string) (*EstimateJSON, time.Time, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.idx[key]
+	if !ok {
+		return nil, time.Time{}, false
+	}
+	c.ll.MoveToFront(el)
+	en := el.Value.(*staleEntry)
+	return en.est, en.at, true
+}
+
+// size reports the number of cached points (tests).
+func (c *staleCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

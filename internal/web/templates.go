@@ -19,6 +19,7 @@ th { background: #ddd; }
 .total { font-weight: bold; background: #eee; }
 .err { color: #a00; font-weight: bold; }
 .note { color: #555; font-size: smaller; }
+.stale { color: #a60; font-size: smaller; font-style: italic; }
 </style></head><body>
 <p><a href="/menu">Main Menu</a> | <a href="/library">Library</a> |
 <a href="/designs">Designs</a> | <a href="/models/new">New Model</a> |
@@ -117,7 +118,7 @@ New design: <input name="name" size="20"> <input type="submit" value="Create">
 <tr><td style="padding-left:{{.Indent}}em">{{if .Model}}<a href="/cell/{{.Model}}">{{.Name}}</a>{{else}}<b>{{.Name}}</b>{{end}}</td>
 <td>{{if .Model}}<a href="/doc/{{.Model}}">{{.Model}}</a>{{end}}</td>
 <td>{{range .Params}}{{.Name}}=<input name="row_{{.Field}}" value="{{.Src}}" size="9"> {{end}}</td>
-<td class="num">{{.Energy}}</td><td class="num">{{.Power}}</td>
+<td class="num">{{.Energy}}{{if .Stale}} <span class="stale" title="{{.Stale}}">(stale)</span>{{end}}</td><td class="num">{{.Power}}</td>
 <td class="num">{{.Area}}</td><td class="num">{{.Delay}}</td></tr>
 {{end}}
 {{range .Globals}}

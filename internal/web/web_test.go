@@ -1,6 +1,7 @@
 package web
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -532,7 +533,7 @@ func TestRemoteMount(t *testing.T) {
 		t.Error("mounted schema should validate locally")
 	}
 	// Remote errors propagate readably.
-	if _, err := rc.Eval("ghost", nil); err == nil || !strings.Contains(err.Error(), "ghost") {
+	if _, err := rc.Eval(context.Background(), "ghost", nil); err == nil || !strings.Contains(err.Error(), "ghost") {
 		t.Errorf("remote error: %v", err)
 	}
 }

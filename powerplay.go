@@ -87,9 +87,20 @@ type (
 	Server = web.Server
 	// ServerConfig parameterizes a site.
 	ServerConfig = web.Config
-	// Remote is a client for another site's model API.
+	// Remote is a client for another site's model API.  It retries,
+	// circuit-breaks, and degrades to cached estimates by default; see
+	// DESIGN.md's "Resilience" section.
 	Remote = web.Remote
+	// RetryPolicy paces a Remote's re-attempts.
+	RetryPolicy = web.RetryPolicy
+	// Breaker is a Remote's per-site circuit breaker.
+	Breaker = web.Breaker
 )
+
+// ErrRemoteUnavailable is the typed error behind every remote failure
+// that means "the publishing site cannot be reached": match it with
+// errors.Is to tell a dead site from a rejected request.
+var ErrRemoteUnavailable = web.ErrRemoteUnavailable
 
 // Standard library cell names.
 const (
@@ -156,9 +167,17 @@ func NewServer(cfg ServerConfig, reg *Registry) (*Server, error) {
 }
 
 // MountRemote registers every model of a remote site into reg under
-// prefix+"." — the Figure 6–7 library-sharing protocol.
+// prefix+"." — the Figure 6–7 library-sharing protocol.  The mount is
+// atomic: on any failure the registry is left exactly as it was.
 func MountRemote(reg *Registry, rc *Remote, prefix string) (int, error) {
 	return web.Mount(reg, rc, prefix)
+}
+
+// RefreshRemote re-syncs a mounted prefix with its remote site: new
+// models appear, unpublished ones are unmounted, and any failure leaves
+// the existing mount untouched.
+func RefreshRemote(ctx context.Context, reg *Registry, rc *Remote, prefix string) (int, error) {
+	return web.Refresh(ctx, reg, rc, prefix)
 }
 
 // Luminance1 builds the paper's Figure 1 video decompression sheet.
