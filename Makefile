@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench faultsim repro examples libdoc clean
+.PHONY: all build test vet race bench benchserve faultsim repro examples libdoc clean
 
 all: build vet test
 
@@ -20,6 +20,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The X20 serving-throughput report: 16 concurrent clients against the
+# InfoPad sheet with the read caches on and off (see EXPERIMENTS.md).
+benchserve:
+	$(GO) run ./cmd/loadgen -clients 16 -requests 1000 -o BENCH_SERVE.json
 
 # The fault-injection suite: the faultnet harness plus the remote
 # resilience and hardening tests, raced and repeated to shake out

@@ -1,0 +1,241 @@
+// Command loadgen measures the sheet serving hot path: N concurrent
+// clients replaying mixed GET / conditional-GET / Play traffic against
+// an in-process PowerPlay site, with the read-path caches on and off.
+// It prints a phase table and writes the numbers to a JSON report
+// (BENCH_SERVE.json in CI), whose headline is the cached/uncached
+// throughput ratio on repeated sheet GETs.
+//
+// Usage:
+//
+//	loadgen [-clients 16] [-requests 300] [-o BENCH_SERVE.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"powerplay/internal/infopad"
+	"powerplay/internal/library"
+	"powerplay/internal/web"
+)
+
+type phaseReport struct {
+	Name     string  `json:"name"`
+	Clients  int     `json:"clients"`
+	Requests int     `json:"requests"`
+	WallMs   float64 `json:"wall_ms"`
+	RPS      float64 `json:"requests_per_second"`
+	P50Us    float64 `json:"p50_us"`
+	P99Us    float64 `json:"p99_us"`
+	Status   map[int]int `json:"status_counts"`
+}
+
+type report struct {
+	Design        string        `json:"design"`
+	Clients       int           `json:"clients"`
+	PerClient     int           `json:"requests_per_client"`
+	GOMAXPROCS    int           `json:"gomaxprocs"`
+	GoVersion     string        `json:"go_version"`
+	Phases        []phaseReport `json:"phases"`
+	SpeedupGet    float64       `json:"speedup_cached_get"`
+	SpeedupRevali float64       `json:"speedup_conditional_get"`
+}
+
+func main() {
+	clients := flag.Int("clients", 16, "concurrent clients")
+	perClient := flag.Int("requests", 300, "requests per client per phase")
+	out := flag.String("o", "", "write the JSON report to this file")
+	flag.Parse()
+
+	baseline := newSite(web.Config{DisableReadCache: true})
+	defer baseline.ts.Close()
+	cached := newSite(web.Config{})
+	defer cached.ts.Close()
+
+	rep := report{
+		Design:     "InfoPad",
+		Clients:    *clients,
+		PerClient:  *perClient,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+	run := func(name string, s site, kind trafficKind) phaseReport {
+		p := runPhase(name, s, *clients, *perClient, kind)
+		rep.Phases = append(rep.Phases, p)
+		fmt.Printf("%-22s %8.0f req/s   p50 %7.0f µs   p99 %7.0f µs   %v\n",
+			p.Name, p.RPS, p.P50Us, p.P99Us, p.Status)
+		return p
+	}
+	base := run("uncached-get", baseline, plainGET)
+	hot := run("cached-get", cached, plainGET)
+	reval := run("cached-conditional-get", cached, conditionalGET)
+	run("cached-mixed-play", cached, mixedPlay)
+
+	rep.SpeedupGet = hot.RPS / base.RPS
+	rep.SpeedupRevali = reval.RPS / base.RPS
+	fmt.Printf("\nspeedup (cached GET vs uncached):        %.1fx\n", rep.SpeedupGet)
+	fmt.Printf("speedup (conditional GET vs uncached):   %.1fx\n", rep.SpeedupRevali)
+
+	if *out != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+type site struct {
+	ts       *httptest.Server
+	sheetURL string
+}
+
+// newSite builds one in-process PowerPlay site serving the Figure 5
+// InfoPad sheet for user "bench".
+func newSite(cfg web.Config) site {
+	s, err := web.NewServer(cfg, library.Standard())
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := infopad.Build(s.Registry())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.InstallDesign("bench", d); err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	return site{ts: ts, sheetURL: ts.URL + "/design/" + url.PathEscape(d.Name)}
+}
+
+type trafficKind int
+
+const (
+	plainGET trafficKind = iota
+	conditionalGET
+	mixedPlay // one Play per 16 requests, the rest plain GETs
+)
+
+// runPhase drives the site with nClients concurrent logged-in clients
+// and aggregates latency percentiles and status counts.
+func runPhase(name string, s site, nClients, perClient int, kind trafficKind) phaseReport {
+	type result struct {
+		lat    []time.Duration
+		status map[int]int
+	}
+	results := make([]result, nClients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < nClients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := login(s.ts.URL)
+			r := result{status: make(map[int]int)}
+			etag := ""
+			for n := 0; n < perClient; n++ {
+				var resp *http.Response
+				var err error
+				t0 := time.Now()
+				if kind == mixedPlay && n%16 == 15 {
+					resp, err = c.PostForm(s.sheetURL+"/play",
+						url.Values{"glob_fclk": {"20MHz"}})
+				} else {
+					req, rerr := http.NewRequest("GET", s.sheetURL, nil)
+					if rerr != nil {
+						log.Fatal(rerr)
+					}
+					if kind == conditionalGET && etag != "" {
+						req.Header.Set("If-None-Match", etag)
+					}
+					resp, err = c.Do(req)
+				}
+				if err != nil {
+					log.Fatal(err)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				r.lat = append(r.lat, time.Since(t0))
+				r.status[resp.StatusCode]++
+				if e := resp.Header.Get("ETag"); e != "" {
+					etag = e
+				}
+			}
+			results[id] = r
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var all []time.Duration
+	status := make(map[int]int)
+	for _, r := range results {
+		all = append(all, r.lat...)
+		for code, n := range r.status {
+			status[code] += n
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return float64(all[i].Microseconds())
+	}
+	total := nClients * perClient
+	return phaseReport{
+		Name:     name,
+		Clients:  nClients,
+		Requests: total,
+		WallMs:   float64(wall.Milliseconds()),
+		RPS:      float64(total) / wall.Seconds(),
+		P50Us:    pct(0.50),
+		P99Us:    pct(0.99),
+		Status:   status,
+	}
+}
+
+// login returns a client holding a session for user "bench".  Each
+// client gets its own keep-alive transport: the shared DefaultTransport
+// caps idle connections per host at 2, and 16 clients churning TCP
+// dials would swamp the serving cost being measured.
+func login(base string) *http.Client {
+	jar, _ := cookiejar.New(nil)
+	c := &http.Client{
+		Jar: jar,
+		Transport: &http.Transport{
+			MaxIdleConnsPerHost: 4,
+			// The generator shares the process with the server; letting
+			// the transport negotiate gzip would bill per-request client
+			// inflate to the serving numbers.  Both phases measure
+			// identity responses.
+			DisableCompression: true,
+		},
+	}
+	resp, err := c.PostForm(base+"/login", url.Values{"user": {"bench"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("login: %s", resp.Status)
+	}
+	return c
+}

@@ -40,6 +40,7 @@ func main() {
 	siteName := flag.String("site", "PowerPlay", "site name shown on pages")
 	seed := flag.Bool("seed", false, "preload the paper's example designs for user 'demo'")
 	sweepTimeout := flag.Duration("sweep-timeout", 0, "per-request exploration sweep budget (0 = 30s default)")
+	cacheLimit := flag.Int("cache-limit", 0, "entries per read-path cache (0 = 256 default)")
 	profiling := flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/")
 	var mounts multiFlag
 	flag.Var(&mounts, "mount", "remote library to mount, url=prefix (repeatable)")
@@ -60,7 +61,7 @@ func main() {
 
 	srv, err := web.NewServer(web.Config{
 		SiteName: *siteName, DataDir: *data, Password: *password,
-		SweepTimeout: *sweepTimeout,
+		SweepTimeout: *sweepTimeout, CacheEntries: *cacheLimit,
 	}, reg)
 	if err != nil {
 		log.Fatal(err)

@@ -87,6 +87,9 @@ func (n *Node) bump() {
 	r.epoch.Add(1)
 }
 
+// designIDs mints process-unique design identities (see Design.ID).
+var designIDs atomic.Uint64
+
 // Design is a complete sheet bound to a model library.
 type Design struct {
 	// Name titles the sheet ("Luminance_1", "InfoPad System").
@@ -110,6 +113,40 @@ type Design struct {
 	fpEpoch uint64
 	fpVal   uint64
 	fpValid bool
+
+	// id lazily holds the design's process-unique identity (see ID).
+	id atomic.Uint64
+}
+
+// Generation returns the design's mutation generation: a cheap
+// monotonic counter bumped by every tree mutation (AddChild,
+// RemoveChild, SetParam, SetGlobal, their Delete twins, SortChildren
+// and Touch).  Two reads returning the same value bracket a span in
+// which the tree did not change, which makes the counter the
+// invalidation key for anything derived from an evaluation — the web
+// layer's memoized results, rendered pages and sweep point caches all
+// key on it.  It costs one atomic load, unlike a content fingerprint
+// or a serialization hash.
+func (d *Design) Generation() uint64 { return d.Root.epoch.Load() }
+
+// Touch advances the generation without changing the tree: callers
+// that must force downstream caches to re-derive (the web Play button,
+// whose contract is "recompute now" even when no cell changed — a
+// mounted remote model may answer differently) bump through here.
+func (d *Design) Touch() { d.Root.bump() }
+
+// ID returns a process-unique identity for this Design value, assigned
+// on first use and stable thereafter.  Generations of different
+// designs are not comparable; ID disambiguates them, so (ID,
+// Generation) is a process-wide cache key — used by the web layer's
+// ETags, where a design replaced under the same name must never
+// revalidate a client's stale page.  Clones get their own identity.
+func (d *Design) ID() uint64 {
+	if id := d.id.Load(); id != 0 {
+		return id
+	}
+	d.id.CompareAndSwap(0, designIDs.Add(1))
+	return d.id.Load()
 }
 
 // NewDesign creates an empty sheet over a library.

@@ -44,7 +44,7 @@ func (s *Server) handleDesignAnalysis(w http.ResponseWriter, r *http.Request, u 
 	// of a large sheet must not hold up (or race with) concurrent
 	// edits.  Evaluation of a single point is not interruptible, so
 	// the request context is honored at the boundaries.
-	s.mu.RLock()
+	u.mu.RLock()
 	snap := d.Clone()
 	var fClock float64
 	if g := snap.Root.Global("f"); g != nil {
@@ -52,7 +52,7 @@ func (s *Server) handleDesignAnalysis(w http.ResponseWriter, r *http.Request, u 
 			fClock = v
 		}
 	}
-	s.mu.RUnlock()
+	u.mu.RUnlock()
 	page := analysisPage{base: s.base(d.Name + " analysis"), Name: d.Name}
 	if err := r.Context().Err(); err != nil {
 		return // client already gone

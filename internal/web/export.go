@@ -22,9 +22,9 @@ func (s *Server) handleDesignExport(w http.ResponseWriter, r *http.Request, u *U
 		http.NotFound(w, r)
 		return
 	}
-	s.mu.RLock()
+	u.mu.RLock()
 	blob, err := d.MarshalJSON()
-	s.mu.RUnlock()
+	u.mu.RUnlock()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -54,12 +54,12 @@ func (s *Server) handleDesignImport(w http.ResponseWriter, r *http.Request, u *U
 		http.Error(w, fmt.Sprintf("powerplay: design name %q not addressable", d.Name), http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
+	u.mu.Lock()
 	_, exists := u.Designs[d.Name]
 	if !exists {
 		u.Designs[d.Name] = d
 	}
-	s.mu.Unlock()
+	u.mu.Unlock()
 	if exists {
 		http.Error(w, fmt.Sprintf("powerplay: design %q already exists", d.Name), http.StatusConflict)
 		return
@@ -77,9 +77,9 @@ func (s *Server) handleDesignCSV(w http.ResponseWriter, r *http.Request, u *User
 		http.NotFound(w, r)
 		return
 	}
-	s.mu.RLock()
-	res, err := d.Evaluate()
-	s.mu.RUnlock()
+	u.mu.RLock()
+	res, err := s.evalDesign(u.Name, d)
+	u.mu.RUnlock()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return

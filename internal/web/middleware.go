@@ -5,6 +5,7 @@ import (
 	"log"
 	"net/http"
 	"runtime/debug"
+	"strings"
 	"time"
 )
 
@@ -79,4 +80,28 @@ func timeoutMiddleware(next http.Handler, d time.Duration) http.Handler {
 		defer cancel()
 		next.ServeHTTP(w, r.WithContext(ctx))
 	})
+}
+
+// acceptsGzip reports whether the client's Accept-Encoding admits a
+// gzip response body: a "gzip" or "*" coding whose quality is not
+// zero.  Used by the cached sheet page path, which pays compression
+// once per generation and serves the stored bytes to every willing
+// client afterwards (with Vary: Accept-Encoding keeping shared caches
+// honest).
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		coding, params, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if coding != "gzip" && coding != "*" {
+			continue
+		}
+		q := strings.TrimSpace(params)
+		if strings.HasPrefix(q, "q=") {
+			switch strings.TrimPrefix(q, "q=") {
+			case "0", "0.", "0.0", "0.00", "0.000":
+				continue
+			}
+		}
+		return true
+	}
+	return false
 }

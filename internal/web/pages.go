@@ -81,9 +81,9 @@ type menuPage struct {
 }
 
 func (s *Server) handleMenu(w http.ResponseWriter, r *http.Request, u *User) {
-	s.mu.RLock()
+	u.mu.RLock()
 	n := len(u.Designs)
-	s.mu.RUnlock()
+	u.mu.RUnlock()
 	s.render(w, "menu", menuPage{base: s.base("Main Menu"), User: u.Name, DesignCount: n})
 }
 
@@ -160,9 +160,9 @@ func (s *Server) cellPage(u *User, name string) (*cellPage, model.Model, bool) {
 	}
 	info := m.Info()
 	page := &cellPage{base: s.base(info.Title), Name: name, Doc: info.Doc, Design: "", Row: ""}
-	s.mu.RLock()
+	u.mu.RLock()
 	defaults := u.Defaults[name]
-	s.mu.RUnlock()
+	u.mu.RUnlock()
 	for _, p := range info.Params {
 		v := p.Default
 		if dv, ok := defaults[p.Name]; ok {
@@ -234,14 +234,14 @@ func (s *Server) handleCellEval(w http.ResponseWriter, r *http.Request, u *User)
 		return
 	}
 	// Update the user's defaults for this model.
-	s.mu.Lock()
+	u.mu.Lock()
 	if u.Defaults[name] == nil {
 		u.Defaults[name] = make(map[string]float64)
 	}
 	for k, v := range params {
 		u.Defaults[name][k] = v
 	}
-	s.mu.Unlock()
+	u.mu.Unlock()
 	if err := s.saveUser(u); err != nil {
 		page.Error = "saving defaults: " + err.Error()
 	}
@@ -266,7 +266,7 @@ func (s *Server) addCellToDesign(w http.ResponseWriter, r *http.Request, u *User
 	designName := strings.TrimSpace(r.FormValue("design"))
 	rowName := strings.TrimSpace(r.FormValue("row"))
 	page.Design, page.Row = designName, rowName
-	s.mu.Lock()
+	u.mu.Lock()
 	d, ok := u.Designs[designName]
 	if !ok && designName != "" {
 		// Create on first save, like the original tool.
@@ -293,7 +293,7 @@ func (s *Server) addCellToDesign(w http.ResponseWriter, r *http.Request, u *User
 			}
 		}
 	}
-	s.mu.Unlock()
+	u.mu.Unlock()
 	if addErr != nil {
 		page.Error = addErr.Error()
 		w.WriteHeader(http.StatusBadRequest)
@@ -330,20 +330,20 @@ type designEntry struct {
 
 func (s *Server) handleDesigns(w http.ResponseWriter, r *http.Request, u *User) {
 	page := designsPage{base: s.base("Design Spreadsheets")}
-	s.mu.RLock()
+	u.mu.RLock()
 	for name, d := range u.Designs {
 		rows := 0
 		d.Root.Walk(func(*sheet.Node) { rows++ })
 		page.Designs = append(page.Designs, designEntry{Name: name, Rows: rows - 1})
 	}
-	s.mu.RUnlock()
+	u.mu.RUnlock()
 	sort.Slice(page.Designs, func(i, j int) bool { return page.Designs[i].Name < page.Designs[j].Name })
 	s.render(w, "designs", page)
 }
 
 func (s *Server) handleDesignCreate(w http.ResponseWriter, r *http.Request, u *User) {
 	name := strings.TrimSpace(r.FormValue("name"))
-	s.mu.Lock()
+	u.mu.Lock()
 	var err error
 	switch {
 	case !validUserName(name):
@@ -356,7 +356,7 @@ func (s *Server) handleDesignCreate(w http.ResponseWriter, r *http.Request, u *U
 		d.Root.SetGlobalValue("f", 1e6, "1MHz")
 		u.Designs[name] = d
 	}
-	s.mu.Unlock()
+	u.mu.Unlock()
 	if err != nil {
 		page := designsPage{base: s.base("Design Spreadsheets")}
 		page.Error = err.Error()

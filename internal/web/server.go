@@ -26,11 +26,9 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"net/http"
 	"os"
 	"path/filepath"
-	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -63,6 +61,16 @@ type Config struct {
 	// MaxBodyBytes caps any request body; zero selects a 4 MiB
 	// default, negative disables the cap.
 	MaxBodyBytes int64
+	// CacheEntries bounds each of the server's read-path caches (the
+	// per-design sweep point caches and the memoized sheet
+	// results/pages), in entries; zero selects the 256 default,
+	// negative selects the minimum of one entry.
+	CacheEntries int
+	// DisableReadCache turns off the sheet read-path memoization
+	// (results, rendered pages, ETags), making every GET re-evaluate
+	// and re-render: the measured baseline for the serve benchmarks,
+	// never something a production site wants.
+	DisableReadCache bool
 }
 
 // User is one identified user's server-side state.
@@ -74,6 +82,14 @@ type User struct {
 	Defaults map[string]map[string]float64
 	// Designs are the user's sheets, by name.
 	Designs map[string]*sheet.Design
+
+	// mu is this user's shard of the server lock: it guards Defaults,
+	// Designs and every design tree under them.  Handlers lock the one
+	// user they serve, so one user's Play (write lock) never blocks
+	// another user's GETs.  Lock order: never acquire Server.mu while
+	// holding a User lock (the few paths that need both take Server.mu
+	// first, or sequentially).
+	mu sync.RWMutex
 }
 
 // Server is one PowerPlay site.
@@ -81,6 +97,10 @@ type Server struct {
 	cfg      Config
 	registry *model.Registry
 
+	// mu guards only the account tables: sessions and the users map.
+	// Per-user state — designs and defaults — is sharded behind each
+	// User's own lock, so traffic for different users never contends
+	// here beyond the map lookup.
 	mu       sync.RWMutex
 	sessions map[string]string // token -> user name
 	users    map[string]*User
@@ -88,17 +108,25 @@ type Server struct {
 	// sweepCaches memoizes exploration points per (user, design)
 	// snapshot, so repeated sweep requests re-use already-priced
 	// operating points.  Guarded by its own mutex: cache bookkeeping
-	// must not serialize behind design edits holding mu.
+	// must not serialize behind design edits holding a user lock.
 	sweepMu     sync.Mutex
-	sweepCaches map[string]sweepCacheEntry
+	sweepCaches *lruCache[*sweepCacheEntry]
+
+	// readCaches memoizes sheet evaluations and rendered pages per
+	// (user, design) — the serving hot path (see pagecache.go).
+	cacheMu    sync.Mutex
+	readCaches *lruCache[*readEntry]
 }
 
 // sweepCacheEntry ties a point cache to the design snapshot it was
-// filled from.  The epoch is a hash of the serialized design; any edit
-// changes it and retires the cache (see explore.Cache's validity rule).
+// filled from: the design's identity and mutation generation plus the
+// registry generation.  Any sheet edit or library change retires the
+// cache (see explore.Cache's validity rule).
 type sweepCacheEntry struct {
-	epoch string
-	cache *explore.Cache
+	design *sheet.Design
+	gen    uint64
+	regGen uint64
+	cache  *explore.Cache
 }
 
 // NewServer builds a site over a model registry (usually
@@ -113,7 +141,8 @@ func NewServer(cfg Config, reg *model.Registry) (*Server, error) {
 		registry:    reg,
 		sessions:    make(map[string]string),
 		users:       make(map[string]*User),
-		sweepCaches: make(map[string]sweepCacheEntry),
+		sweepCaches: newLRU[*sweepCacheEntry](cfg.cacheEntries()),
+		readCaches:  newLRU[*readEntry](cfg.cacheEntries()),
 	}
 	if cfg.DataDir != "" {
 		if err := s.loadState(); err != nil {
@@ -126,31 +155,37 @@ func NewServer(cfg Config, reg *model.Registry) (*Server, error) {
 // Registry exposes the site's model namespace.
 func (s *Server) Registry() *model.Registry { return s.registry }
 
-// designEpoch fingerprints a design's full contents — structure AND
-// cell expressions — for sweep-cache invalidation.  Callers must hold
-// s.mu (read or write) so the serialization sees a consistent sheet.
-func designEpoch(d *sheet.Design) string {
-	blob, err := d.MarshalJSON()
-	if err != nil {
-		// Unserializable designs don't cache; a unique epoch per call
-		// keeps them correct (always-fresh) rather than wrong.
-		return fmt.Sprintf("err:%p:%v", d, err)
+// cacheEntries resolves the per-cache entry cap (see Config).
+func (c Config) cacheEntries() int {
+	switch {
+	case c.CacheEntries > 0:
+		return c.CacheEntries
+	case c.CacheEntries < 0:
+		return 1
 	}
-	h := fnv.New64a()
-	h.Write(blob)
-	return strconv.FormatUint(h.Sum64(), 16)
+	return defaultCacheEntries
 }
 
+// defaultCacheEntries bounds each read-path cache when
+// Config.CacheEntries is unset: roomy for any realistic number of
+// concurrently active (user, design) pairs, small enough that retired
+// designs and departed users cannot accumulate into a leak.
+const defaultCacheEntries = 256
+
 // sweepCacheFor returns the evaluation cache for one user's design at
-// the given epoch, retiring any cache filled from an older snapshot.
-func (s *Server) sweepCacheFor(user, design, epoch string) *explore.Cache {
-	key := user + "/" + design
+// its current generation, retiring any cache filled from an older
+// snapshot of the sheet or of the model library.  The caller must hold
+// the user's lock (read or write) so the generation cannot move
+// between the read and the sweep's design clone.
+func (s *Server) sweepCacheFor(user string, d *sheet.Design) *explore.Cache {
+	key := user + "/" + d.Name
+	gen, regGen := d.Generation(), s.registry.Generation()
 	s.sweepMu.Lock()
 	defer s.sweepMu.Unlock()
-	e, ok := s.sweepCaches[key]
-	if !ok || e.epoch != epoch {
-		e = sweepCacheEntry{epoch: epoch, cache: explore.NewCache(0)}
-		s.sweepCaches[key] = e
+	e, ok := s.sweepCaches.get(key)
+	if !ok || e.design != d || e.gen != gen || e.regGen != regGen {
+		e = &sweepCacheEntry{design: d, gen: gen, regGen: regGen, cache: explore.NewCache(0)}
+		s.sweepCaches.put(key, e)
 	}
 	return e.cache
 }
@@ -175,8 +210,10 @@ func (s *Server) InstallDesign(userName string, d *sheet.Design) error {
 		}
 		s.users[userName] = u
 	}
-	u.Designs[d.Name] = d
 	s.mu.Unlock()
+	u.mu.Lock()
+	u.Designs[d.Name] = d
+	u.mu.Unlock()
 	return s.saveUser(u)
 }
 
@@ -350,8 +387,8 @@ func (s *Server) saveUser(u *User) error {
 	if s.cfg.DataDir == "" {
 		return nil
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	u.mu.RLock()
+	defer u.mu.RUnlock()
 	dir := s.userDir(u.Name)
 	if err := os.MkdirAll(filepath.Join(dir, "designs"), 0o755); err != nil {
 		return err

@@ -47,17 +47,18 @@ type sheetGlobal struct {
 }
 
 func (s *Server) design(u *User, name string) (*sheet.Design, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	u.mu.RLock()
+	defer u.mu.RUnlock()
 	d, ok := u.Designs[name]
 	return d, ok
 }
 
-// buildSheetPage renders the design with results (if evaluation
-// succeeded) or with the structural view plus the error.
-func (s *Server) buildSheetPage(d *sheet.Design) sheetPage {
+// buildSheetPage lays out the design with results (if evaluation
+// succeeded) or with the structural view plus the error.  The caller
+// supplies the evaluation — usually from the read-path memo — and must
+// hold the owning user's lock.
+func (s *Server) buildSheetPage(d *sheet.Design, r *sheet.Result, err error) sheetPage {
 	page := sheetPage{base: s.base(d.Name + " summary"), Name: d.Name, Doc: d.Doc}
-	r, err := d.Evaluate()
 	if err != nil {
 		page.Error = err.Error()
 	}
@@ -122,10 +123,22 @@ func (s *Server) handleDesignSheet(w http.ResponseWriter, r *http.Request, u *Us
 		http.NotFound(w, r)
 		return
 	}
-	s.mu.RLock()
-	page := s.buildSheetPage(d)
-	s.mu.RUnlock()
-	s.render(w, "sheet", page)
+	if s.cfg.DisableReadCache {
+		// Benchmark baseline: evaluate and render per request, no
+		// validators.
+		u.mu.RLock()
+		res, err := d.Evaluate()
+		page := s.buildSheetPage(d, res, err)
+		u.mu.RUnlock()
+		s.render(w, "sheet", page)
+		return
+	}
+	rp, err := s.renderedSheetFor(u, d)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	serveRendered(w, r, rp)
 }
 
 // handleDesignPlay is the PLAY button: absorb every edited cell, then
@@ -140,7 +153,7 @@ func (s *Server) handleDesignPlay(w http.ResponseWriter, r *http.Request, u *Use
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
+	u.mu.Lock()
 	var editErr error
 	for key, vals := range r.PostForm {
 		if len(vals) == 0 {
@@ -177,8 +190,14 @@ func (s *Server) handleDesignPlay(w http.ResponseWriter, r *http.Request, u *Use
 			}
 		}
 	}
-	page := s.buildSheetPage(d)
-	s.mu.Unlock()
+	// Play's contract is "recompute now": bump the generation even when
+	// no cell changed, so the memoized result, the cached page and its
+	// ETag all retire — a mounted remote model may price differently on
+	// the recompute, and clients must not 304 across a Play.
+	d.Touch()
+	res, evalErr := s.evalDesign(u.Name, d)
+	page := s.buildSheetPage(d, res, evalErr)
+	u.mu.Unlock()
 	if editErr != nil && page.Error == "" {
 		page.Error = editErr.Error()
 	}
@@ -195,7 +214,7 @@ func (s *Server) handleDesignRows(w http.ResponseWriter, r *http.Request, u *Use
 		http.NotFound(w, r)
 		return
 	}
-	s.mu.Lock()
+	u.mu.Lock()
 	var err error
 	switch r.FormValue("action") {
 	case "Add":
@@ -223,8 +242,12 @@ func (s *Server) handleDesignRows(w http.ResponseWriter, r *http.Request, u *Use
 	default:
 		err = fmt.Errorf("unknown action %q", r.FormValue("action"))
 	}
-	page := s.buildSheetPage(d)
-	s.mu.Unlock()
+	// Structural edits bump the generation themselves; a failed action
+	// left the tree untouched, so the memo serves the still-valid
+	// result either way.
+	res, evalErr := s.evalDesign(u.Name, d)
+	page := s.buildSheetPage(d, res, evalErr)
+	u.mu.Unlock()
 	if err != nil {
 		page.Error = err.Error()
 		w.WriteHeader(http.StatusBadRequest)

@@ -97,9 +97,10 @@ func (s *Server) handleDesignSweep(w http.ResponseWriter, r *http.Request, u *Us
 		fail(http.StatusBadRequest, "steps must be an integer in [2, 200]")
 		return
 	}
-	// Snapshot under the read lock: the sweep itself runs on the clone,
-	// so concurrent sheet edits neither block behind it nor race it.
-	s.mu.RLock()
+	// Snapshot under the user's read lock: the sweep itself runs on the
+	// clone, so concurrent sheet edits neither block behind it nor race
+	// it — and other users' traffic never waits at all.
+	u.mu.RLock()
 	// The variable must exist somewhere in the sheet (overriding an
 	// unknown name would sweep nothing and silently plot a flat line).
 	known := false
@@ -109,13 +110,13 @@ func (s *Server) handleDesignSweep(w http.ResponseWriter, r *http.Request, u *Us
 		}
 	})
 	if !known {
-		s.mu.RUnlock()
+		u.mu.RUnlock()
 		fail(http.StatusBadRequest, fmt.Sprintf("no variable %q in this design", page.Var))
 		return
 	}
 	snap := d.Clone()
-	cache := s.sweepCacheFor(u.Name, d.Name, designEpoch(d))
-	s.mu.RUnlock()
+	cache := s.sweepCacheFor(u.Name, d)
+	u.mu.RUnlock()
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.sweepTimeout())
 	defer cancel()

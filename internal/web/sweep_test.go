@@ -166,8 +166,9 @@ func TestSweepCacheReuseAndInvalidation(t *testing.T) {
 		t.Fatalf("first sweep: %d", code)
 	}
 	s.sweepMu.Lock()
-	cache := s.sweepCaches["u/d"].cache
+	ent, _ := s.sweepCaches.get("u/d")
 	s.sweepMu.Unlock()
+	cache := ent.cache
 	if cache == nil || cache.Len() != 8 {
 		t.Fatalf("cold sweep should fill the cache: %v", cache)
 	}
@@ -190,8 +191,9 @@ func TestSweepCacheReuseAndInvalidation(t *testing.T) {
 		t.Fatal("post-edit sweep failed")
 	}
 	s.sweepMu.Lock()
-	fresh := s.sweepCaches["u/d"].cache
+	fent, _ := s.sweepCaches.get("u/d")
 	s.sweepMu.Unlock()
+	fresh := fent.cache
 	if fresh == cache {
 		t.Error("design edit did not retire the sweep cache")
 	}
