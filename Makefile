@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench benchserve faultsim repro examples libdoc clean
+.PHONY: all build test vet race bench benchserve metrics-smoke faultsim repro examples libdoc clean
 
 all: build vet test
 
@@ -25,6 +25,13 @@ bench:
 # InfoPad sheet with the read caches on and off (see EXPERIMENTS.md).
 benchserve:
 	$(GO) run ./cmd/loadgen -clients 16 -requests 1000 -o BENCH_SERVE.json
+
+# The observability smoke: drive real traffic through an in-process
+# site and assert the /metrics contract — every instrument family
+# present, histogram buckets cumulative, counters monotonic — under the
+# race detector.
+metrics-smoke:
+	$(GO) test -race -run 'TestMetricsSmoke' ./internal/web/
 
 # The fault-injection suite: the faultnet harness plus the remote
 # resilience and hardening tests, raced and repeated to shake out

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net/http"
 	"net/http/cookiejar"
 	"net/http/httptest"
@@ -23,6 +24,8 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -32,14 +35,20 @@ import (
 )
 
 type phaseReport struct {
-	Name     string  `json:"name"`
-	Clients  int     `json:"clients"`
-	Requests int     `json:"requests"`
-	WallMs   float64 `json:"wall_ms"`
-	RPS      float64 `json:"requests_per_second"`
-	P50Us    float64 `json:"p50_us"`
-	P99Us    float64 `json:"p99_us"`
+	Name     string      `json:"name"`
+	Clients  int         `json:"clients"`
+	Requests int         `json:"requests"`
+	WallMs   float64     `json:"wall_ms"`
+	RPS      float64     `json:"requests_per_second"`
+	P50Us    float64     `json:"p50_us"`
+	P99Us    float64     `json:"p99_us"`
 	Status   map[int]int `json:"status_counts"`
+	// Server-side numbers, folded in from a /metrics scrape around the
+	// phase: what the instrumentation itself says happened, as opposed
+	// to the client-observed latencies above.
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	ServerP50Us   float64 `json:"server_p50_us"`
+	ServerP99Us   float64 `json:"server_p99_us"`
 }
 
 type report struct {
@@ -72,10 +81,16 @@ func main() {
 		GoVersion:  runtime.Version(),
 	}
 	run := func(name string, s site, kind trafficKind) phaseReport {
+		// Both in-process sites share one process-global metrics
+		// registry, so a scrape around the phase isolates its traffic:
+		// phases run sequentially and the deltas belong to this one.
+		before := scrapeMetrics(s.ts.URL)
 		p := runPhase(name, s, *clients, *perClient, kind)
+		after := scrapeMetrics(s.ts.URL)
+		foldMetrics(&p, before, after)
 		rep.Phases = append(rep.Phases, p)
-		fmt.Printf("%-22s %8.0f req/s   p50 %7.0f µs   p99 %7.0f µs   %v\n",
-			p.Name, p.RPS, p.P50Us, p.P99Us, p.Status)
+		fmt.Printf("%-22s %8.0f req/s   p50 %7.0f µs   p99 %7.0f µs   hit %4.0f%%   %v\n",
+			p.Name, p.RPS, p.P50Us, p.P99Us, 100*p.CacheHitRatio, p.Status)
 		return p
 	}
 	base := run("uncached-get", baseline, plainGET)
@@ -209,6 +224,110 @@ func runPhase(name string, s site, nClients, perClient int, kind trafficKind) ph
 		P99Us:    pct(0.99),
 		Status:   status,
 	}
+}
+
+// scrapeMetrics fetches the site's /metrics page and parses it into a
+// flat map of "name{labels}" -> value.  Comment lines are skipped; the
+// parser accepts exactly what internal/obs emits (no timestamps, one
+// space before the value).
+func scrapeMetrics(base string) map[string]float64 {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(blob), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// sheetRouteLabel is the instrumented route pattern of the sheet GET —
+// the series the server-side latency quantiles are computed from.
+const sheetRouteLabel = `route="GET /design/{name}"`
+
+// foldMetrics computes the phase's server-side numbers from the
+// before/after scrape delta: pagecache hit ratio (evaluation memo plus
+// rendered page) and latency quantiles of the sheet route's histogram.
+func foldMetrics(p *phaseReport, before, after map[string]float64) {
+	delta := func(key string) float64 { return after[key] - before[key] }
+	hits := delta(`powerplay_pagecache_events_total{event="result_hit"}`) +
+		delta(`powerplay_pagecache_events_total{event="page_hit"}`)
+	misses := delta(`powerplay_pagecache_events_total{event="result_miss"}`) +
+		delta(`powerplay_pagecache_events_total{event="page_miss"}`)
+	if hits+misses > 0 {
+		p.CacheHitRatio = hits / (hits + misses)
+	}
+	p.ServerP50Us = histQuantileUs(before, after, 0.50)
+	p.ServerP99Us = histQuantileUs(before, after, 0.99)
+}
+
+// histQuantileUs estimates a latency quantile (in µs) from the sheet
+// route's cumulative bucket deltas, interpolating linearly inside the
+// winning bucket the way Prometheus's histogram_quantile does.
+func histQuantileUs(before, after map[string]float64, q float64) float64 {
+	prefix := "powerplay_http_request_seconds_bucket{" + sheetRouteLabel + `,le="`
+	type bucket struct {
+		le  float64
+		cum float64
+	}
+	var buckets []bucket
+	for key, v := range after {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		leStr := strings.TrimSuffix(strings.TrimPrefix(key, prefix), `"}`)
+		le := math.Inf(1)
+		if leStr != "+Inf" {
+			f, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				continue
+			}
+			le = f
+		}
+		buckets = append(buckets, bucket{le: le, cum: v - before[key]})
+	}
+	if len(buckets) == 0 {
+		return 0
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	total := buckets[len(buckets)-1].cum
+	if total <= 0 {
+		return 0
+	}
+	rank := q * total
+	prevLe, prevCum := 0.0, 0.0
+	for _, b := range buckets {
+		if b.cum >= rank {
+			if math.IsInf(b.le, 1) {
+				// Above the last finite bound: report that bound.
+				return prevLe * 1e6
+			}
+			frac := 0.0
+			if b.cum > prevCum {
+				frac = (rank - prevCum) / (b.cum - prevCum)
+			}
+			return (prevLe + (b.le-prevLe)*frac) * 1e6
+		}
+		prevLe, prevCum = b.le, b.cum
+	}
+	return prevLe * 1e6
 }
 
 // login returns a client holding a session for user "bench".  Each

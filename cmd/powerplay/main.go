@@ -16,7 +16,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -29,6 +29,7 @@ import (
 	"powerplay/internal/core/sheet"
 	"powerplay/internal/infopad"
 	"powerplay/internal/library"
+	"powerplay/internal/obs"
 	"powerplay/internal/vqsim"
 	"powerplay/internal/web"
 )
@@ -42,21 +43,28 @@ func main() {
 	sweepTimeout := flag.Duration("sweep-timeout", 0, "per-request exploration sweep budget (0 = 30s default)")
 	cacheLimit := flag.Int("cache-limit", 0, "entries per read-path cache (0 = 256 default)")
 	profiling := flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON (default: human-readable text)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	var mounts multiFlag
 	flag.Var(&mounts, "mount", "remote library to mount, url=prefix (repeatable)")
 	flag.Parse()
+
+	if err := setupLogging(*logLevel, *logJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "powerplay:", err)
+		os.Exit(1)
+	}
 
 	reg := library.Standard()
 	for _, m := range mounts {
 		url, prefix, ok := strings.Cut(m, "=")
 		if !ok {
-			log.Fatalf("powerplay: -mount wants url=prefix, got %q", m)
+			fatal("-mount wants url=prefix", "got", m)
 		}
 		n, err := web.Mount(reg, &web.Remote{BaseURL: url, Key: *password}, prefix)
 		if err != nil {
-			log.Fatalf("powerplay: mounting %s: %v", url, err)
+			fatal("mounting remote library failed", "url", url, "err", err)
 		}
-		log.Printf("mounted %d models from %s under %q", n, url, prefix)
+		slog.Info("mounted remote library", "models", n, "url", url, "prefix", prefix)
 	}
 
 	srv, err := web.NewServer(web.Config{
@@ -64,40 +72,70 @@ func main() {
 		SweepTimeout: *sweepTimeout, CacheEntries: *cacheLimit,
 	}, reg)
 	if err != nil {
-		log.Fatal(err)
+		fatal("server setup failed", "err", err)
 	}
 	if *seed {
 		if err := seedDesigns(srv); err != nil {
-			log.Fatal(err)
+			fatal("seeding designs failed", "err", err)
 		}
-		log.Printf("seeded the paper's designs for user %q", "demo")
+		slog.Info("seeded the paper's designs", "user", "demo")
 	}
 	handler := srv.Handler()
 	if *profiling {
 		handler = withPprof(handler)
-		log.Printf("profiling enabled at http://%s/debug/pprof/", *addr)
+		slog.Info("profiling enabled", "url", fmt.Sprintf("http://%s/debug/pprof/", *addr))
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal("listen failed", "addr", *addr, "err", err)
 	}
 	// Log the *bound* address: with ":0" the chosen port is otherwise
 	// unknowable, and logging before Serve means "no line in the log"
 	// reliably reads as "never came up".
-	log.Printf("%s listening on http://%s", *siteName, ln.Addr())
+	slog.Info("listening", "site", *siteName, "url", "http://"+ln.Addr().String())
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := serve(ctx, ln, handler); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal("serve failed", "err", err)
 	}
-	log.Printf("%s shut down cleanly", *siteName)
+	slog.Info("shut down cleanly", "site", *siteName)
+}
+
+// setupLogging installs the process-wide slog default, which the web
+// layer's request-ID middleware then tags per request.
+func setupLogging(level string, jsonOut bool) error {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	if jsonOut {
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, opts)
+	}
+	slog.SetDefault(slog.New(h))
+	return nil
+}
+
+// fatal logs at error level and exits non-zero: slog's replacement for
+// log.Fatalf.
+func fatal(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(1)
 }
 
 // shutdownGrace bounds how long a stopping server waits for in-flight
 // requests (a running sweep, a slow remote eval) before closing hard.
 const shutdownGrace = 10 * time.Second
+
+// drainSeconds records how long the graceful drain actually took — the
+// number to compare against shutdownGrace when tuning rolling restarts.
+// (Scraped in tests and by a final pre-exit log line; the /metrics
+// endpoint itself is already closed by the time it settles.)
+var drainSeconds = obs.NewGauge("powerplay_server_drain_seconds",
+	"Duration of the last graceful shutdown drain.")
 
 // serve runs an http.Server over the listener until ctx is canceled
 // (SIGINT/SIGTERM in production), then drains in-flight requests.
@@ -121,10 +159,15 @@ func serve(ctx context.Context, ln net.Listener, handler http.Handler) error {
 		}
 		return err
 	case <-ctx.Done():
-		log.Printf("shutting down (draining up to %s)", shutdownGrace)
+		slog.Info("shutting down", "grace", shutdownGrace)
+		start := time.Now()
 		sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
 		defer cancel()
-		if err := hs.Shutdown(sctx); err != nil {
+		err := hs.Shutdown(sctx)
+		drain := time.Since(start)
+		drainSeconds.Set(drain.Seconds())
+		slog.Info("drained in-flight requests", "dur_ms", drain.Milliseconds())
+		if err != nil {
 			hs.Close()
 			return fmt.Errorf("shutdown: %w", err)
 		}

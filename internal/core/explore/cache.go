@@ -6,7 +6,15 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"powerplay/internal/obs"
 )
+
+// sweepCacheEvents counts point-cache traffic across every Cache in
+// the process: the sweep-side half of the serving cache story (the
+// sheet read path has its own counters in internal/web).
+var sweepCacheEvents = obs.NewCounterVec("powerplay_sweepcache_points_total",
+	"Sweep point cache lookups and evictions, by event.", "event")
 
 // Cache memoizes evaluated design points for one design, keyed by the
 // override vector.  The web sweep page re-evaluates the whole range on
@@ -85,9 +93,11 @@ func (c *Cache) lookup(key string) (cacheRecord, bool) {
 	el, ok := c.entries[key]
 	if !ok {
 		c.misses++
+		sweepCacheEvents.With("miss").Inc()
 		return cacheRecord{}, false
 	}
 	c.hits++
+	sweepCacheEvents.With("hit").Inc()
 	c.order.MoveToFront(el)
 	return el.Value.(cacheRecord), true
 }
@@ -107,6 +117,7 @@ func (c *Cache) store(rec cacheRecord) {
 		last := c.order.Back()
 		c.order.Remove(last)
 		delete(c.entries, last.Value.(cacheRecord).key)
+		sweepCacheEvents.With("evict").Inc()
 	}
 }
 

@@ -2,14 +2,40 @@ package explore
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"powerplay/internal/core/sheet"
+	"powerplay/internal/obs"
 )
+
+// Engine instrumentation: points priced, worker time burned, sweeps
+// torn down early.  One counter add per point (and one per worker) —
+// noise next to a sheet evaluation.
+var (
+	explorePoints = obs.NewCounter("powerplay_explore_points_total",
+		"Design points evaluated (or recalled from cache) by the exploration engine.")
+	exploreBusySeconds = obs.NewCounter("powerplay_explore_worker_busy_seconds_total",
+		"Cumulative time exploration workers spent evaluating points.")
+	exploreCancellations = obs.NewCounter("powerplay_explore_cancellations_total",
+		"Explorations abandoned because their context was canceled or timed out.")
+)
+
+// noteInterrupted records (and logs, with the request ID the context
+// carries) an exploration that died of cancellation or deadline rather
+// than a bad point.
+func noteInterrupted(ctx context.Context, err error, points int) {
+	if err == nil || (!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)) {
+		return
+	}
+	exploreCancellations.Inc()
+	obs.Log(ctx).Debug("explore: sweep interrupted", "points", points, "err", err)
+}
 
 // Runner is the parallel exploration engine: it fans design points out
 // across a pool of worker goroutines, each evaluating against its own
@@ -190,15 +216,19 @@ func (r *Runner) run(ctx context.Context, d *sheet.Design, overrides []map[strin
 	sw := hoist(d, overrides)
 	if w := r.workers(len(overrides)); w > 1 {
 		if err := r.runParallel(ctx, d, overrides, out, w, sw); err != nil {
+			noteInterrupted(ctx, err, len(overrides))
 			return nil, err
 		}
 		return out, nil
 	}
 	// Serial fast path: evaluate on the caller's design, no clone.
 	ev := newEval(sw)
+	start := time.Now()
+	defer func() { exploreBusySeconds.Add(time.Since(start).Seconds()) }()
 	for i, ov := range overrides {
 		p, err := r.point(ctx, d, ev, ov)
 		if err != nil {
+			noteInterrupted(ctx, err, len(overrides))
 			return nil, err
 		}
 		out[i] = p
@@ -290,6 +320,8 @@ func (r *Runner) runParallel(parent context.Context, d *sheet.Design, overrides 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			start := time.Now()
+			defer func() { exploreBusySeconds.Add(time.Since(start).Seconds()) }()
 			// One snapshot per worker: cloning is O(rows), evaluation
 			// is O(rows × points/worker), so the clone amortizes away
 			// while guaranteeing race freedom against the caller.  The
@@ -341,6 +373,7 @@ func (r *Runner) point(ctx context.Context, d *sheet.Design, ev *sheet.SweepEval
 	if r.Cache != nil {
 		key = Key(overrides)
 		if rec, ok := r.Cache.lookup(key); ok {
+			explorePoints.Inc()
 			return Point{Vars: overrides, Power: rec.power, Area: rec.area, Delay: rec.delay}, nil
 		}
 	}
@@ -363,6 +396,7 @@ func (r *Runner) point(ctx context.Context, d *sheet.Design, ev *sheet.SweepEval
 	if r.Cache != nil {
 		r.Cache.store(cacheRecord{key: key, power: p.Power, area: p.Area, delay: p.Delay})
 	}
+	explorePoints.Inc()
 	return p, nil
 }
 

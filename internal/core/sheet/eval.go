@@ -6,8 +6,16 @@ import (
 	"powerplay/internal/activity"
 	"powerplay/internal/core/model"
 	"powerplay/internal/expr"
+	"powerplay/internal/obs"
 	"powerplay/internal/units"
 )
+
+// planFallbacks counts evaluations that abandoned the compiled plan
+// for the tree interpreter (no plan, or a run-time error re-derived
+// for its canonical message).  A rising rate under steady traffic
+// means the fast path is being paid for and then thrown away.
+var planFallbacks = obs.NewCounter("powerplay_sheet_plan_fallbacks_total",
+	"Evaluations that fell back from the compiled plan to the interpreter.")
 
 // Result is the evaluated state of one row: the numbers the spreadsheet
 // displays when Play is pressed.
@@ -108,6 +116,7 @@ func (d *Design) evaluate(overrides map[string]float64) (*Result, error) {
 			return r, nil
 		}
 	}
+	planFallbacks.Inc()
 	return d.evaluateInterpreted(overrides)
 }
 
@@ -121,6 +130,7 @@ func (d *Design) EvaluateTotals(overrides map[string]float64) (power, area, dela
 			return pw, a, dl, nil
 		}
 	}
+	planFallbacks.Inc()
 	r, err := d.evaluateInterpreted(overrides)
 	if err != nil {
 		return 0, 0, 0, err

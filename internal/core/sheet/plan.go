@@ -40,8 +40,15 @@ import (
 
 	"powerplay/internal/core/model"
 	"powerplay/internal/expr"
+	"powerplay/internal/obs"
 	"powerplay/internal/units"
 )
+
+// planCompiles counts whole-plan compilations by outcome; a high "err"
+// rate means designs keep hitting the interpreter-only path (static
+// cycles) and the compiled pipeline is not paying for itself.
+var planCompiles = obs.NewCounterVec("powerplay_sheet_plan_compiles_total",
+	"Design evaluation plans compiled, by outcome.", "result")
 
 // planEntry caches one compile outcome (failures are cached too, so a
 // sheet the compiler cannot handle pays the analysis once, not per
@@ -94,6 +101,11 @@ func (d *Design) PlanFor(names []string) (*Plan, error) {
 		return e.plan, e.err
 	}
 	plan, err := compilePlan(d, names)
+	if err == nil {
+		planCompiles.With("ok").Inc()
+	} else {
+		planCompiles.With("err").Inc()
+	}
 	d.plans[key] = &planEntry{plan: plan, err: err}
 	return plan, err
 }

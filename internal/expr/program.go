@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"powerplay/internal/obs"
 )
 
 // This file implements the compiled evaluation pipeline's first stage:
@@ -157,7 +159,14 @@ func (p *Program) Source() string { return p.src }
 // Compilation never fails: names the scope cannot resolve compile to
 // instructions that raise the interpreter's corresponding error if the
 // operand is reached, so Run errs exactly when Eval would.
+// programCompiles counts expression lowerings: plan (re)compilation
+// cost made visible, since a site whose designs churn recompiles every
+// binding per edit.
+var programCompiles = obs.NewCounter("powerplay_expr_program_compiles_total",
+	"Expressions lowered to slot-resolved programs.")
+
 func CompileProgram(e *Expr, scope Resolver) *Program {
+	programCompiles.Inc()
 	c := &progCompiler{e: e, scope: scope, p: &Program{src: e.src}}
 	if cr, ok := scope.(CallResolver); ok {
 		c.calls = cr

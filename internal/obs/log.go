@@ -1,0 +1,76 @@
+package obs
+
+// Structured logging and request-ID propagation.
+//
+// Every HTTP request gets an ID at the edge (the web middleware) that
+// travels in the request context, so a log line written deep inside
+// sheet evaluation, the sweep runner, or the remote model client
+// carries the same request_id the access log and the JSON error
+// envelope show the client.  Code that logs takes whatever context it
+// already has and calls obs.Log(ctx) — no logger plumbing through
+// APIs, and outside a request (tests, CLI tools, background refresh)
+// it degrades to slog.Default().  The request-tagged logger is
+// composed lazily at the log site, not per request: requests that log
+// nothing (the overwhelming hot path) pay one context value, no
+// logger allocation.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+)
+
+type ctxKey int
+
+const (
+	requestIDKey ctxKey = iota
+	loggerKey
+)
+
+// NewRequestID mints a fresh request ID: 8 random bytes, hex-encoded.
+// Collisions across a log-retention window are about as likely as a
+// disk flipping the same bits.  One allocation (the returned string):
+// this runs once per HTTP request.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand failure is not recoverable
+	}
+	var dst [16]byte
+	hex.Encode(dst[:], b[:])
+	return string(dst[:])
+}
+
+// WithRequestID returns ctx carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID returns the context's request ID, or "" outside a request.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// WithLogger returns ctx carrying a logger for Log to hand back.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerKey, l)
+}
+
+// Log returns the context's logger — in a request, tagged with its
+// request_id — or slog.Default() when the context carries none.  A nil
+// context is tolerated so helpers without one still log.  The tagged
+// logger is built here, at the (rare) log site, so carrying an ID
+// through the (hot) non-logging path costs nothing.
+func Log(ctx context.Context) *slog.Logger {
+	if ctx != nil {
+		if l, ok := ctx.Value(loggerKey).(*slog.Logger); ok {
+			return l
+		}
+		if id, ok := ctx.Value(requestIDKey).(string); ok {
+			return slog.Default().With("request_id", id)
+		}
+	}
+	return slog.Default()
+}

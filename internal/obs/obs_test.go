@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := &Registry{}
+	c := r.NewCounter("t_count_total", "a counter")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("counter = %v, want 3.5", got)
+	}
+	g := r.NewGauge("t_gauge", "a gauge")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %v, want 5", got)
+	}
+	// Get-or-create: same name returns the same instrument.
+	if r.NewCounter("t_count_total", "again") != c {
+		t.Error("re-registration minted a second counter")
+	}
+}
+
+func TestRegisterTypeMismatchPanics(t *testing.T) {
+	r := &Registry{}
+	r.NewCounter("t_clash", "counter first")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering t_clash as a gauge should panic")
+		}
+	}()
+	r.NewGauge("t_clash", "now a gauge")
+}
+
+func TestHistogramBucketsAndExport(t *testing.T) {
+	r := &Registry{}
+	h := r.NewHistogram("t_lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 5.555 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE t_lat_seconds histogram",
+		`t_lat_seconds_bucket{le="0.01"} 1`,
+		`t_lat_seconds_bucket{le="0.1"} 2`,
+		`t_lat_seconds_bucket{le="1"} 3`,
+		`t_lat_seconds_bucket{le="+Inf"} 4`,
+		"t_lat_seconds_sum 5.555",
+		"t_lat_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramCumulativeMonotonic checks the exported bucket series is
+// non-decreasing and closed by +Inf == count, under concurrency.
+func TestHistogramCumulativeMonotonic(t *testing.T) {
+	r := &Registry{}
+	h := r.NewHistogramVec("t_conc_seconds", "latency", nil, "route")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.With("a").Observe(float64(i%37) / 1000)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	prev := -1.0
+	count := -1.0
+	inf := -1.0
+	for _, line := range strings.Split(b.String(), "\n") {
+		var v float64
+		switch {
+		case strings.HasPrefix(line, "t_conc_seconds_bucket"):
+			if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &v); err != nil {
+				t.Fatal(err)
+			}
+			if v < prev {
+				t.Fatalf("bucket series decreased: %q after %v", line, prev)
+			}
+			prev = v
+			if strings.Contains(line, `le="+Inf"`) {
+				inf = v
+			}
+		case strings.HasPrefix(line, "t_conc_seconds_count"):
+			if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &v); err != nil {
+				t.Fatal(err)
+			}
+			count = v
+		}
+	}
+	if count != 8000 || inf != count {
+		t.Errorf("count = %v, +Inf bucket = %v, want both 8000", count, inf)
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	r := &Registry{}
+	vec := r.NewCounterVec("t_events_total", "events", "kind")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				vec.With("hit").Inc()
+				vec.With("miss").Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := vec.With("hit").Value(); got != 8000 {
+		t.Errorf("hit = %v", got)
+	}
+	if got := vec.With("miss").Value(); got != 4000 {
+		t.Errorf("miss = %v", got)
+	}
+}
+
+func TestVecLabelExport(t *testing.T) {
+	r := &Registry{}
+	vec := r.NewCounterVec("t_labeled_total", "labeled", "route", "status")
+	vec.With(`GET /x`, "200").Add(3)
+	vec.With(`quo"te`, "500").Inc()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`t_labeled_total{route="GET /x",status="200"} 3`,
+		`t_labeled_total{route="quo\"te",status="500"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRequestIDContext(t *testing.T) {
+	id := NewRequestID()
+	if len(id) != 16 {
+		t.Fatalf("id %q not 16 hex chars", id)
+	}
+	if id == NewRequestID() {
+		t.Error("two IDs collided")
+	}
+	ctx := WithRequestID(context.Background(), id)
+	if RequestID(ctx) != id {
+		t.Error("request ID lost in context")
+	}
+	if RequestID(context.Background()) != "" {
+		t.Error("empty context should have no ID")
+	}
+}
+
+func TestLogFallsBackToDefault(t *testing.T) {
+	if Log(context.Background()) != slog.Default() {
+		t.Error("bare context should log to slog.Default")
+	}
+	if Log(nil) != slog.Default() {
+		t.Error("nil context should log to slog.Default")
+	}
+	l := slog.Default().With("request_id", "abc")
+	ctx := WithLogger(context.Background(), l)
+	if Log(ctx) != l {
+		t.Error("context logger not returned")
+	}
+}

@@ -126,6 +126,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// apiError is the legacy (pre-v1) error wire shape.  The server no
+// longer emits it — every error path writes the errorEnvelope of
+// apiv1.go — but the remote client still decodes it so a mount against
+// an older publisher keeps reporting sane messages.
 type apiError struct {
 	Error string `json:"error"`
 }
@@ -143,7 +147,7 @@ func (s *Server) apiModels(w http.ResponseWriter, r *http.Request) {
 func (s *Server) apiModelInfo(w http.ResponseWriter, r *http.Request) {
 	m, ok := s.registry.Lookup(r.PathValue("name"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{"no such model"})
+		apiFail(w, r, http.StatusNotFound, codeNotFound, "no such model")
 		return
 	}
 	writeJSON(w, http.StatusOK, infoJSON(m.Info()))
@@ -152,7 +156,7 @@ func (s *Server) apiModelInfo(w http.ResponseWriter, r *http.Request) {
 func (s *Server) apiEval(w http.ResponseWriter, r *http.Request) {
 	var req EvalRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{"bad request: " + err.Error()})
+		apiFail(w, r, http.StatusBadRequest, codeBadRequest, "bad request: "+err.Error())
 		return
 	}
 	params := make(model.Params, len(req.Params))
@@ -161,7 +165,7 @@ func (s *Server) apiEval(w http.ResponseWriter, r *http.Request) {
 	}
 	est, err := s.registry.Evaluate(req.Model, params)
 	if err != nil {
-		writeJSON(w, http.StatusUnprocessableEntity, apiError{err.Error()})
+		apiFail(w, r, http.StatusUnprocessableEntity, codeInvalidParams, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, estimateJSON(est))
@@ -172,7 +176,7 @@ func (s *Server) apiEval(w http.ResponseWriter, r *http.Request) {
 func (s *Server) apiEquations(w http.ResponseWriter, r *http.Request) {
 	blob, err := library.DumpEquations(s.registry)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, apiError{err.Error()})
+		apiFail(w, r, http.StatusInternalServerError, codeInternal, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,158 @@
+package web
+
+// The versioned JSON API surface.
+//
+// Every remote-protocol endpoint lives under /api/v1/...; the original
+// bare /api/... paths remain as thin aliases that answer identically
+// but advertise their replacement with a Deprecation header, so an old
+// consumer keeps working while telling its operator where to move.
+// Error responses on the versioned surface (and, since they share the
+// handlers, on the aliases) use one uniform JSON envelope:
+//
+//	{"error": {"code": "...", "message": "...", "request_id": "..."}}
+//
+// The code is a small closed enumeration a program can switch on, the
+// message is for humans, and the request_id matches the X-Request-ID
+// response header and the server's log lines, so a failing client can
+// hand its operator something grep-able.
+
+import (
+	"net/http"
+	"strings"
+	"time"
+
+	"powerplay/internal/obs"
+)
+
+// errorDetail is the body of the uniform API error envelope.
+type errorDetail struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// errorEnvelope is the uniform API error response.
+type errorEnvelope struct {
+	Error errorDetail `json:"error"`
+}
+
+// API error codes: the closed set clients may switch on.  Adding a code
+// is a compatible change; repurposing one is not.
+const (
+	codeUnauthorized  = "unauthorized"   // missing or wrong site key
+	codeNotFound      = "not_found"      // no such model
+	codeBadRequest    = "bad_request"    // unparseable request payload
+	codeInvalidParams = "invalid_params" // the model rejected the evaluation
+	codeInternal      = "internal"       // server-side failure
+)
+
+// apiFail writes the uniform error envelope with the request's ID.
+func apiFail(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
+	writeJSON(w, status, errorEnvelope{Error: errorDetail{
+		Code:      code,
+		Message:   msg,
+		RequestID: obs.RequestID(r.Context()),
+	}})
+}
+
+// apiRoutes registers the JSON API: the versioned /api/v1 surface, the
+// deprecated bare aliases, and the unauthenticated probes (/metrics and
+// the health endpoint).  handle is Server.Handler's instrumented
+// registrar, so every route lands in the per-route metrics under its
+// literal pattern.
+func (s *Server) apiRoutes(handle func(pattern string, h http.HandlerFunc)) {
+	// The versioned surface.
+	handle("GET /api/v1/models", s.apiAuth(s.apiModels))
+	handle("GET /api/v1/models/{name...}", s.apiAuth(s.apiModelInfo))
+	handle("POST /api/v1/eval", s.apiAuth(s.apiEval))
+	handle("GET /api/v1/equations", s.apiAuth(s.apiEquations))
+	// Probes: no site key, so load balancers and scrapers work against
+	// password-restricted sites.  Neither exposes design data.
+	handle("GET /api/v1/healthz", s.apiHealthz)
+	handle("GET /metrics", obs.Handler().ServeHTTP)
+	// Deprecated aliases for the original unversioned paths.
+	handle("GET /api/models", deprecated(s.apiAuth(s.apiModels)))
+	handle("GET /api/models/{name...}", deprecated(s.apiAuth(s.apiModelInfo)))
+	handle("POST /api/eval", deprecated(s.apiAuth(s.apiEval)))
+	handle("GET /api/equations", deprecated(s.apiAuth(s.apiEquations)))
+}
+
+// deprecated wraps a legacy /api/... alias: same handler, same answer,
+// plus the RFC 9745 Deprecation header and a successor-version link
+// pointing at the /api/v1 path the caller should move to.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		successor := "/api/v1" + strings.TrimPrefix(r.URL.Path, "/api")
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+		h(w, r)
+	}
+}
+
+// healthRemote summarizes one mounted publisher for the health page.
+type healthRemote struct {
+	BaseURL string `json:"base_url"`
+	Breaker string `json:"breaker"`
+	Models  int    `json:"models"`
+}
+
+// healthResponse is the GET /api/v1/healthz body: alive-ness plus the
+// one-glance numbers an operator checks first (uptime, load, cache
+// population, and the state of every mounted publisher's breaker).
+type healthResponse struct {
+	Status            string         `json:"status"`
+	UptimeSeconds     float64        `json:"uptime_seconds"`
+	InflightRequests  int            `json:"inflight_requests"`
+	Models            int            `json:"models"`
+	ReadCacheEntries  int            `json:"read_cache_entries"`
+	SweepCacheEntries int            `json:"sweep_cache_entries"`
+	Remotes           []healthRemote `json:"remotes,omitempty"`
+}
+
+// apiHealthz is the liveness endpoint: it answers 200 whenever the
+// process serves requests at all, and the body carries the summary
+// (degraded publishers show as open breakers, not as a failing probe).
+func (s *Server) apiHealthz(w http.ResponseWriter, r *http.Request) {
+	names := s.registry.Names()
+	// One entry per distinct Remote, in first-seen (sorted-name) order.
+	seen := make(map[*Remote]*healthRemote)
+	var order []*healthRemote
+	for _, name := range names {
+		m, ok := s.registry.Lookup(name)
+		if !ok {
+			continue
+		}
+		pm, isProxy := m.(*proxyModel)
+		if !isProxy {
+			continue
+		}
+		hr := seen[pm.remote]
+		if hr == nil {
+			hr = &healthRemote{
+				BaseURL: pm.remote.BaseURL,
+				Breaker: pm.remote.BreakerState().String(),
+			}
+			seen[pm.remote] = hr
+			order = append(order, hr)
+		}
+		hr.Models++
+	}
+	s.cacheMu.Lock()
+	readN := s.readCaches.len()
+	s.cacheMu.Unlock()
+	s.sweepMu.Lock()
+	sweepN := s.sweepCaches.len()
+	s.sweepMu.Unlock()
+	resp := healthResponse{
+		Status:            "ok",
+		UptimeSeconds:     time.Since(s.started).Seconds(),
+		InflightRequests:  int(httpInflight.Value()),
+		Models:            len(names),
+		ReadCacheEntries:  readN,
+		SweepCacheEntries: sweepN,
+	}
+	for _, hr := range order {
+		resp.Remotes = append(resp.Remotes, *hr)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -114,6 +114,7 @@ func (b *Breaker) Allow() error {
 			return ErrCircuitOpen
 		}
 		b.state = BreakerHalfOpen
+		breakerTransitions.With("half-open").Inc()
 		b.probing = true
 		return nil
 	default: // half-open
@@ -129,6 +130,9 @@ func (b *Breaker) Allow() error {
 func (b *Breaker) Success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.state != BreakerClosed {
+		breakerTransitions.With("closed").Inc()
+	}
 	b.state = BreakerClosed
 	b.failures = 0
 	b.probing = false
@@ -144,11 +148,13 @@ func (b *Breaker) Failure() {
 		// The probe failed: straight back to open.
 		b.state = BreakerOpen
 		b.openedAt = b.clock()
+		breakerTransitions.With("open").Inc()
 		return
 	}
 	b.failures++
 	if b.failures >= b.threshold() {
 		b.state = BreakerOpen
 		b.openedAt = b.clock()
+		breakerTransitions.With("open").Inc()
 	}
 }

@@ -43,18 +43,22 @@ func (c *lruCache[V]) get(key string) (V, bool) {
 
 // put inserts or replaces the entry for key as most recently used,
 // evicting the least recently used entry if the cache is over cap.
-func (c *lruCache[V]) put(key string, val V) {
+// It reports whether an entry was evicted, so callers can count
+// pressure on their cache.
+func (c *lruCache[V]) put(key string, val V) (evicted bool) {
 	if el, ok := c.idx[key]; ok {
 		el.Value.(*lruItem[V]).val = val
 		c.ll.MoveToFront(el)
-		return
+		return false
 	}
 	c.idx[key] = c.ll.PushFront(&lruItem[V]{key: key, val: val})
 	if c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.idx, oldest.Value.(*lruItem[V]).key)
+		return true
 	}
+	return false
 }
 
 // len returns the number of live entries.

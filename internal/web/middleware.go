@@ -2,11 +2,14 @@ package web
 
 import (
 	"context"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"time"
+
+	"powerplay/internal/obs"
 )
 
 // Server-side hardening for a site under heavy (or hostile) traffic:
@@ -50,13 +53,153 @@ func recoverMiddleware(next http.Handler) http.Handler {
 			if p == http.ErrAbortHandler {
 				panic(p)
 			}
-			log.Printf("powerplay: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			httpPanics.Inc()
+			// The request-ID middleware runs inside this one but stamps
+			// the response header before calling down, so the panic line
+			// still correlates with the request's other log lines.
+			obs.Log(r.Context()).Error("panic serving request",
+				"method", r.Method, "path", r.URL.Path,
+				"request_id", w.Header().Get(requestIDHeader),
+				"panic", p, "stack", string(debug.Stack()))
 			// Best effort: if the handler already wrote headers this is
 			// a no-op and the connection is dropped instead.
 			http.Error(w, "internal server error", http.StatusInternalServerError)
 		}()
 		next.ServeHTTP(w, r)
 	})
+}
+
+// requestIDHeader carries the per-request ID in both directions: a
+// client (or fronting proxy) may supply one, and every response echoes
+// the ID that ended up in the logs and the JSON error envelope.
+const requestIDHeader = "X-Request-ID"
+
+// requestIDMiddleware assigns every request an ID, echoes it in the
+// response header, and stores it in the request context, so any log
+// line written below this point (sheet eval, sweep runner, remote
+// client — all via obs.Log) correlates with the access log and with
+// what the client saw.
+func requestIDMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := sanitizeRequestID(r.Header.Get(requestIDHeader))
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set(requestIDHeader, id)
+		next.ServeHTTP(w, r.WithContext(obs.WithRequestID(r.Context(), id)))
+	})
+}
+
+// sanitizeRequestID accepts a client-supplied request ID only when it
+// is short and printable-safe; anything else is replaced, so a hostile
+// header cannot smuggle log-breaking bytes or unbounded junk.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for _, r := range id {
+		ok := r == '-' || r == '_' || r == '.' ||
+			r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9'
+		if !ok {
+			return ""
+		}
+	}
+	return id
+}
+
+// statusRecorder captures the status code a handler writes, so the
+// instrumentation wrapper can label its counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (rec *statusRecorder) WriteHeader(code int) {
+	if !rec.wrote {
+		rec.status = code
+		rec.wrote = true
+	}
+	rec.ResponseWriter.WriteHeader(code)
+}
+
+func (rec *statusRecorder) Write(b []byte) (int, error) {
+	rec.wrote = true
+	return rec.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer when it streams.
+func (rec *statusRecorder) Flush() {
+	if f, ok := rec.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps one route's handler with the per-route metrics —
+// status-labeled request counter, latency histogram, in-flight gauge —
+// and a structured access line carrying the request ID.  The histogram
+// child is resolved once per route at registration, so the per-request
+// cost is the observation itself.
+func instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	hist := httpLatency.With(pattern)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		httpInflight.Add(1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		finished := false
+		defer func() {
+			httpInflight.Add(-1)
+			status := rec.status
+			if !finished {
+				// The handler panicked; the recovery middleware will
+				// answer 500 after this defer runs.
+				status = http.StatusInternalServerError
+			}
+			dur := time.Since(start)
+			hist.Observe(dur.Seconds())
+			httpRequests.With(pattern, r.Method, statusLabel(status)).Inc()
+			// The access line: Warn on server errors, Debug otherwise.
+			// The Enabled gate keeps the hot path from boxing log args
+			// (or composing the tagged logger) just to drop them.
+			if status >= 500 {
+				obs.Log(r.Context()).Warn("http request",
+					"route", pattern, "status", status, "dur_ms", dur.Milliseconds())
+			} else if slog.Default().Enabled(r.Context(), slog.LevelDebug) {
+				obs.Log(r.Context()).Debug("http request",
+					"route", pattern, "status", status, "dur_us", dur.Microseconds())
+			}
+		}()
+		h(rec, r)
+		finished = true
+	}
+}
+
+// statusLabel spells a status code for the request counter without
+// allocating on the codes this server actually answers.
+func statusLabel(status int) string {
+	switch status {
+	case 200:
+		return "200"
+	case 302:
+		return "302"
+	case 303:
+		return "303"
+	case 304:
+		return "304"
+	case 400:
+		return "400"
+	case 401:
+		return "401"
+	case 404:
+		return "404"
+	case 422:
+		return "422"
+	case 500:
+		return "500"
+	case 503:
+		return "503"
+	}
+	return strconv.Itoa(status)
 }
 
 // limitBodyMiddleware caps every request body at max bytes.  Reads past

@@ -91,15 +91,19 @@ func (s *Server) evalDesign(userName string, d *sheet.Design) (*sheet.Result, er
 	s.cacheMu.Lock()
 	if e, ok := s.readCaches.get(key); ok && e.live(d, gen, regGen) {
 		s.cacheMu.Unlock()
+		pageCacheEvents.With("result_hit").Inc()
 		return e.res, e.err
 	}
 	s.cacheMu.Unlock()
+	pageCacheEvents.With("result_miss").Inc()
 	res, err := d.Evaluate()
 	// regGen was read before evaluating: if a model edit lands mid-
 	// evaluation the entry is stored under the older generation and the
 	// next read misses — conservative, never stale.
 	s.cacheMu.Lock()
-	s.readCaches.put(key, &readEntry{design: d, gen: gen, regGen: regGen, res: res, err: err})
+	if s.readCaches.put(key, &readEntry{design: d, gen: gen, regGen: regGen, res: res, err: err}) {
+		webCacheEvictions.With("read").Inc()
+	}
 	s.cacheMu.Unlock()
 	return res, err
 }
@@ -117,9 +121,11 @@ func (s *Server) renderedSheetFor(u *User, d *sheet.Design) (*renderedPage, erro
 	if e, ok := s.readCaches.get(key); ok && e.live(d, gen, regGen) && e.page != nil {
 		page := e.page
 		s.cacheMu.Unlock()
+		pageCacheEvents.With("page_hit").Inc()
 		return page, nil
 	}
 	s.cacheMu.Unlock()
+	pageCacheEvents.With("page_miss").Inc()
 	res, err := s.evalDesign(u.Name, d)
 	html, rerr := renderBytes("sheet", s.buildSheetPage(d, res, err))
 	if rerr != nil {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"powerplay/internal/core/model"
+	"powerplay/internal/obs"
 	"powerplay/internal/units"
 )
 
@@ -134,6 +135,8 @@ func (rc *Remote) do(ctx context.Context, method, path string, body []byte, out 
 	var lastErr error
 	for attempt := 0; attempt < budget; attempt++ {
 		if attempt > 0 {
+			remoteRetries.Inc()
+			obs.Log(ctx).Debug("remote: retrying", "site", rc.BaseURL, "path", path, "attempt", attempt)
 			if err := policy.wait(ctx, attempt-1); err != nil {
 				return fmt.Errorf("remote %s%s: %w: %v", rc.BaseURL, path, ErrRemoteUnavailable, err)
 			}
@@ -145,6 +148,7 @@ func (rc *Remote) do(ctx context.Context, method, path string, body []byte, out 
 			return fmt.Errorf("remote %s%s: %w: %w", rc.BaseURL, path, ErrRemoteUnavailable, err)
 		}
 		kind, err := rc.attempt(ctx, method, path, body, out)
+		remoteAttempts.With(kind.String()).Inc()
 		if kind == failNone {
 			rc.breaker.Success()
 			return nil
@@ -196,9 +200,8 @@ func (rc *Remote) attempt(ctx context.Context, method, path string, body []byte,
 			return failServer, fmt.Errorf("remote %s%s: %w: %s: %s",
 				rc.BaseURL, path, ErrRemoteUnavailable, resp.Status, bytes.TrimSpace(msg))
 		}
-		var ae apiError
-		if json.Unmarshal(msg, &ae) == nil && ae.Error != "" {
-			return failApp, fmt.Errorf("remote %s: %s", rc.BaseURL, ae.Error)
+		if m := decodeAPIError(msg); m != "" {
+			return failApp, fmt.Errorf("remote %s: %s", rc.BaseURL, m)
 		}
 		return failApp, fmt.Errorf("remote %s%s: %s: %s", rc.BaseURL, path, resp.Status, bytes.TrimSpace(msg))
 	}
@@ -211,10 +214,26 @@ func (rc *Remote) attempt(ctx context.Context, method, path string, body []byte,
 	return failNone, nil
 }
 
+// decodeAPIError extracts a human message from an error response body:
+// first the versioned envelope ({"error":{"code","message",...}}), then
+// the legacy shape ({"error":"..."}), so the client reads both a
+// current and a pre-v1 publisher.
+func decodeAPIError(msg []byte) string {
+	var env errorEnvelope
+	if json.Unmarshal(msg, &env) == nil && env.Error.Message != "" {
+		return env.Error.Message
+	}
+	var ae apiError
+	if json.Unmarshal(msg, &ae) == nil && ae.Error != "" {
+		return ae.Error
+	}
+	return ""
+}
+
 // Models lists the remote site's library.
 func (rc *Remote) Models(ctx context.Context) ([]ModelSummary, error) {
 	var out []ModelSummary
-	if err := rc.do(ctx, http.MethodGet, "/api/models", nil, &out, true); err != nil {
+	if err := rc.do(ctx, http.MethodGet, "/api/v1/models", nil, &out, true); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -223,7 +242,7 @@ func (rc *Remote) Models(ctx context.Context) ([]ModelSummary, error) {
 // Info fetches one remote model's descriptor.
 func (rc *Remote) Info(ctx context.Context, name string) (*ModelInfoJSON, error) {
 	var out ModelInfoJSON
-	if err := rc.do(ctx, http.MethodGet, "/api/models/"+name, nil, &out, true); err != nil {
+	if err := rc.do(ctx, http.MethodGet, "/api/v1/models/"+name, nil, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -238,7 +257,7 @@ func (rc *Remote) Eval(ctx context.Context, name string, params map[string]float
 		return nil, err
 	}
 	var out EstimateJSON
-	if err := rc.do(ctx, http.MethodPost, "/api/eval", blob, &out, false); err != nil {
+	if err := rc.do(ctx, http.MethodPost, "/api/v1/eval", blob, &out, false); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -288,6 +307,7 @@ func (p *proxyModel) Evaluate(params model.Params) (*model.Estimate, error) {
 	}
 	if p.remote.stale != nil && errors.Is(err, ErrRemoteUnavailable) {
 		if cached, at, ok := p.remote.stale.get(key); ok {
+			remoteStaleServes.Inc()
 			est := estimateFromJSON(cached)
 			est.Note("%s — remote unavailable; serving last good value from %s ago",
 				staleNotePrefix, time.Since(at).Round(time.Second))

@@ -116,6 +116,9 @@ type Server struct {
 	// (user, design) — the serving hot path (see pagecache.go).
 	cacheMu    sync.Mutex
 	readCaches *lruCache[*readEntry]
+
+	// started timestamps server construction for the healthz uptime.
+	started time.Time
 }
 
 // sweepCacheEntry ties a point cache to the design snapshot it was
@@ -143,6 +146,7 @@ func NewServer(cfg Config, reg *model.Registry) (*Server, error) {
 		users:       make(map[string]*User),
 		sweepCaches: newLRU[*sweepCacheEntry](cfg.cacheEntries()),
 		readCaches:  newLRU[*readEntry](cfg.cacheEntries()),
+		started:     time.Now(),
 	}
 	if cfg.DataDir != "" {
 		if err := s.loadState(); err != nil {
@@ -185,7 +189,9 @@ func (s *Server) sweepCacheFor(user string, d *sheet.Design) *explore.Cache {
 	e, ok := s.sweepCaches.get(key)
 	if !ok || e.design != d || e.gen != gen || e.regGen != regGen {
 		e = &sweepCacheEntry{design: d, gen: gen, regGen: regGen, cache: explore.NewCache(0)}
-		s.sweepCaches.put(key, e)
+		if s.sweepCaches.put(key, e) {
+			webCacheEvictions.With("sweep").Inc()
+		}
 	}
 	return e.cache
 }
@@ -220,37 +226,42 @@ func (s *Server) InstallDesign(userName string, d *sheet.Design) error {
 // Handler returns the site's HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	// Every route registers through the instrumentation wrapper, with
+	// its literal pattern as the (bounded-cardinality) route label.
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, instrument(pattern, h))
+	}
 	// HTML application.
-	mux.HandleFunc("GET /{$}", s.handleFront)
-	mux.HandleFunc("POST /login", s.handleLogin)
-	mux.HandleFunc("GET /logout", s.handleLogout)
-	mux.HandleFunc("GET /menu", s.auth(s.handleMenu))
-	mux.HandleFunc("GET /library", s.auth(s.handleLibrary))
-	mux.HandleFunc("GET /cell/{name...}", s.auth(s.handleCellForm))
-	mux.HandleFunc("POST /cell/{name...}", s.auth(s.handleCellEval))
-	mux.HandleFunc("GET /designs", s.auth(s.handleDesigns))
-	mux.HandleFunc("POST /designs", s.auth(s.handleDesignCreate))
-	mux.HandleFunc("GET /design/{name}", s.auth(s.handleDesignSheet))
-	mux.HandleFunc("POST /design/{name}/play", s.auth(s.handleDesignPlay))
-	mux.HandleFunc("POST /design/{name}/rows", s.auth(s.handleDesignRows))
-	mux.HandleFunc("GET /design/{name}/analysis", s.auth(s.handleDesignAnalysis))
-	mux.HandleFunc("GET /design/{name}/sweep", s.auth(s.handleDesignSweep))
-	mux.HandleFunc("GET /design/{name}/export", s.auth(s.handleDesignExport))
-	mux.HandleFunc("GET /design/{name}/csv", s.auth(s.handleDesignCSV))
-	mux.HandleFunc("POST /designs/import", s.auth(s.handleDesignImport))
-	mux.HandleFunc("GET /models/new", s.auth(s.handleModelForm))
-	mux.HandleFunc("POST /models/new", s.auth(s.handleModelCreate))
-	mux.HandleFunc("GET /models/edit/{name...}", s.auth(s.handleModelEdit))
-	mux.HandleFunc("GET /doc/{name...}", s.auth(s.handleDoc))
-	mux.HandleFunc("GET /help", s.handleHelp)
-	// Remote model protocol (Figures 6-7).
-	mux.HandleFunc("GET /api/models", s.apiAuth(s.apiModels))
-	mux.HandleFunc("GET /api/models/{name...}", s.apiAuth(s.apiModelInfo))
-	mux.HandleFunc("POST /api/eval", s.apiAuth(s.apiEval))
-	mux.HandleFunc("GET /api/equations", s.apiAuth(s.apiEquations))
+	handle("GET /{$}", s.handleFront)
+	handle("POST /login", s.handleLogin)
+	handle("GET /logout", s.handleLogout)
+	handle("GET /menu", s.auth(s.handleMenu))
+	handle("GET /library", s.auth(s.handleLibrary))
+	handle("GET /cell/{name...}", s.auth(s.handleCellForm))
+	handle("POST /cell/{name...}", s.auth(s.handleCellEval))
+	handle("GET /designs", s.auth(s.handleDesigns))
+	handle("POST /designs", s.auth(s.handleDesignCreate))
+	handle("GET /design/{name}", s.auth(s.handleDesignSheet))
+	handle("POST /design/{name}/play", s.auth(s.handleDesignPlay))
+	handle("POST /design/{name}/rows", s.auth(s.handleDesignRows))
+	handle("GET /design/{name}/analysis", s.auth(s.handleDesignAnalysis))
+	handle("GET /design/{name}/sweep", s.auth(s.handleDesignSweep))
+	handle("GET /design/{name}/export", s.auth(s.handleDesignExport))
+	handle("GET /design/{name}/csv", s.auth(s.handleDesignCSV))
+	handle("POST /designs/import", s.auth(s.handleDesignImport))
+	handle("GET /models/new", s.auth(s.handleModelForm))
+	handle("POST /models/new", s.auth(s.handleModelCreate))
+	handle("GET /models/edit/{name...}", s.auth(s.handleModelEdit))
+	handle("GET /doc/{name...}", s.auth(s.handleDoc))
+	handle("GET /help", s.handleHelp)
+	// Remote model protocol (Figures 6-7): the versioned JSON API,
+	// the deprecated bare aliases, and the unauthenticated probes
+	// (see apiv1.go).
+	s.apiRoutes(handle)
 	// Hardening stack (see middleware.go): recovery outermost so it
-	// also covers the inner middleware, then the body cap, then the
-	// per-request deadline.
+	// also covers the inner middleware, then request IDs (so every
+	// deeper log line and error envelope can carry one), then the body
+	// cap, then the per-request deadline.
 	var h http.Handler = mux
 	if d := s.requestTimeout(); d > 0 {
 		h = timeoutMiddleware(h, d)
@@ -258,7 +269,7 @@ func (s *Server) Handler() http.Handler {
 	if max := s.maxBodyBytes(); max > 0 {
 		h = limitBodyMiddleware(h, max)
 	}
-	return recoverMiddleware(h)
+	return recoverMiddleware(requestIDMiddleware(h))
 }
 
 // requestTimeout resolves the per-request context deadline (0 = off).
@@ -334,7 +345,7 @@ func (s *Server) auth(h func(http.ResponseWriter, *http.Request, *User)) http.Ha
 func (s *Server) apiAuth(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.cfg.Password != "" && r.Header.Get("X-PowerPlay-Key") != s.cfg.Password {
-			http.Error(w, "powerplay: missing or wrong site key", http.StatusUnauthorized)
+			apiFail(w, r, http.StatusUnauthorized, codeUnauthorized, "missing or wrong site key")
 			return
 		}
 		h(w, r)

@@ -11,6 +11,7 @@ import (
 
 	"powerplay/internal/core/explore"
 	"powerplay/internal/core/sheet"
+	"powerplay/internal/obs"
 	"powerplay/internal/units"
 )
 
@@ -120,8 +121,12 @@ func (s *Server) handleDesignSweep(w http.ResponseWriter, r *http.Request, u *Us
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.sweepTimeout())
 	defer cancel()
+	start := time.Now()
 	runner := &explore.Runner{Cache: cache}
 	pts, err := runner.Sweep(ctx, snap, page.Var, explore.Linspace(from, to, steps))
+	obs.Log(ctx).Debug("sweep finished",
+		"design", d.Name, "var", page.Var, "steps", steps,
+		"dur_ms", time.Since(start).Milliseconds(), "err", err != nil)
 	if err != nil {
 		switch {
 		case errors.Is(err, context.Canceled):
