@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench benchserve metrics-smoke faultsim repro examples libdoc clean
+.PHONY: all build test vet race bench benchserve bench-batch metrics-smoke faultsim repro examples libdoc clean
 
 all: build vet test
 
@@ -25,6 +25,12 @@ bench:
 # InfoPad sheet with the read caches on and off (see EXPERIMENTS.md).
 benchserve:
 	$(GO) run ./cmd/loadgen -clients 16 -requests 1000 -o BENCH_SERVE.json
+
+# The X21 batch-sweep regression gate: one in-process 10k-point sweep
+# through the scalar and columnar engines, failing if columnar is no
+# longer faster (see EXPERIMENTS.md).
+bench-batch:
+	POWERPLAY_BENCH_BATCH=1 $(GO) test -run 'TestBatchThroughputSmoke' -v .
 
 # The observability smoke: drive real traffic through an in-process
 # site and assert the /metrics contract — every instrument family

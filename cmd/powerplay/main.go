@@ -41,6 +41,7 @@ func main() {
 	siteName := flag.String("site", "PowerPlay", "site name shown on pages")
 	seed := flag.Bool("seed", false, "preload the paper's example designs for user 'demo'")
 	sweepTimeout := flag.Duration("sweep-timeout", 0, "per-request exploration sweep budget (0 = 30s default)")
+	sweepChunk := flag.Int("sweep-chunk", 0, "sweep points per columnar batch (0 = engine default, 1 = scalar only)")
 	cacheLimit := flag.Int("cache-limit", 0, "entries per read-path cache (0 = 256 default)")
 	profiling := flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/")
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON (default: human-readable text)")
@@ -69,7 +70,7 @@ func main() {
 
 	srv, err := web.NewServer(web.Config{
 		SiteName: *siteName, DataDir: *data, Password: *password,
-		SweepTimeout: *sweepTimeout, CacheEntries: *cacheLimit,
+		SweepTimeout: *sweepTimeout, SweepChunk: *sweepChunk, CacheEntries: *cacheLimit,
 	}, reg)
 	if err != nil {
 		fatal("server setup failed", "err", err)

@@ -1,0 +1,82 @@
+// Columnar sweep forms for the computational-block models: each kernel
+// rebuilds, from the fixed structural parameters, exactly the Csw /
+// swing / frequency / area / delay expressions its Evaluate computes,
+// so the sheet's batch executor prices whole columns of operating
+// points with results bit-identical to the scalar path (see
+// model.SweepFormer for the contract).
+package cells
+
+import (
+	"math"
+
+	"powerplay/internal/core/model"
+)
+
+// SweepForm implements model.SweepFormer.
+func (l *Linear) SweepForm(p model.Params) (*model.SweepForm, bool) {
+	bits := p["bits"]
+	scale := model.CapScale(p[model.ParamTech])
+	return &model.SweepForm{
+		Dyn:    []model.SweepTerm{{Csw: p["act"] * bits * float64(l.CapPerBit) * scale, FMul: 1}},
+		Area:   bits * float64(l.AreaPerBit) * scale * scale,
+		Delay0: float64(l.Delay0) + bits*float64(l.DelayPerBit),
+	}, true
+}
+
+// SweepForm implements model.SweepFormer.
+func (m *Multiplier) SweepForm(p model.Params) (*model.SweepForm, bool) {
+	coeff := m.CoeffUncorr
+	if p["corr"] == Correlated {
+		coeff = m.CoeffCorr
+	}
+	bwA, bwB := p["bwA"], p["bwB"]
+	scale := model.CapScale(p[model.ParamTech])
+	return &model.SweepForm{
+		Dyn:    []model.SweepTerm{{Csw: bwA * bwB * float64(coeff) * scale, FMul: 1}},
+		Area:   bwA * bwB * float64(m.AreaPerBit2) * scale * scale,
+		Delay0: (bwA + bwB) * float64(m.DelayPerBit),
+	}, true
+}
+
+// SweepForm implements model.SweepFormer.
+func (s *Shifter) SweepForm(p model.Params) (*model.SweepForm, bool) {
+	stages := math.Ceil(math.Log2(p["maxshift"] + 1))
+	scale := model.CapScale(p[model.ParamTech])
+	return &model.SweepForm{
+		Dyn:    []model.SweepTerm{{Csw: p["bits"] * stages * float64(s.CapPerBitStage) * scale, FMul: 1}},
+		Area:   p["bits"] * stages * float64(s.AreaPerBitStage) * scale * scale,
+		Delay0: stages * float64(s.DelayPerStage),
+	}, true
+}
+
+// SweepForm implements model.SweepFormer.
+func (m *Mux) SweepForm(p model.Params) (*model.SweepForm, bool) {
+	legs := p["inputs"] - 1
+	scale := model.CapScale(p[model.ParamTech])
+	levels := math.Ceil(math.Log2(p["inputs"]))
+	return &model.SweepForm{
+		Dyn:    []model.SweepTerm{{Csw: p["bits"] * legs * float64(m.CapPerLeg) * scale, FMul: 1}},
+		Area:   p["bits"] * legs * float64(m.AreaPerLeg) * scale * scale,
+		Delay0: levels * float64(m.DelayPerLevel),
+	}, true
+}
+
+// SweepForm implements model.SweepFormer.
+func (b *Buffer) SweepForm(p model.Params) (*model.SweepForm, bool) {
+	scale := model.CapScale(p[model.ParamTech])
+	perBit := float64(b.CapInternal)*scale + p["cload"]
+	return &model.SweepForm{
+		Dyn:    []model.SweepTerm{{Csw: p["bits"] * p["act"] * perBit, FMul: 1}},
+		Area:   p["bits"] * float64(b.AreaPerBit) * scale * scale,
+		Delay0: float64(b.Delay),
+	}, true
+}
+
+// check interface satisfaction at compile time.
+var (
+	_ model.SweepFormer = (*Linear)(nil)
+	_ model.SweepFormer = (*Multiplier)(nil)
+	_ model.SweepFormer = (*Shifter)(nil)
+	_ model.SweepFormer = (*Mux)(nil)
+	_ model.SweepFormer = (*Buffer)(nil)
+)

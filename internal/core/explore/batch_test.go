@@ -1,0 +1,255 @@
+package explore
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"powerplay/internal/core/model"
+	"powerplay/internal/core/sheet"
+	"powerplay/internal/units"
+)
+
+// sameBits demands two point slices be bit-identical — the chunked
+// engine's contract against the scalar path, stronger than almost().
+func sameBits(t *testing.T, label string, got, want []Point) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d points, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i].Power) != math.Float64bits(want[i].Power) ||
+			math.Float64bits(got[i].Area) != math.Float64bits(want[i].Area) ||
+			math.Float64bits(got[i].Delay) != math.Float64bits(want[i].Delay) {
+			t.Errorf("%s point %d: %+v != %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestChunkedSweepBitIdenticalToScalar is the engine-level equivalence
+// oracle: the columnar path must reproduce the scalar path bit for bit
+// across worker counts and chunk sizes, including the +Inf delay
+// positions below the delay-scale threshold supply.
+func TestChunkedSweepBitIdenticalToScalar(t *testing.T) {
+	d := testDesign(t)
+	values := Linspace(0.5, 3.3, 257)
+	scalar, err := (&Runner{Workers: 1, ChunkSize: 1}).Sweep(context.Background(), d, "vdd", values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Runner{
+		{Workers: 1},                 // default chunking, serial
+		{Workers: 4},                 // default chunking, parallel
+		{Workers: 1, ChunkSize: 7},   // chunk not dividing the sweep
+		{Workers: 4, ChunkSize: 64},  // several chunks per worker
+		{Workers: 4, ChunkSize: 512}, // chunk larger than the sweep
+	} {
+		cfg := cfg
+		got, err := cfg.Sweep(context.Background(), d, "vdd", values)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		sameBits(t, "vdd sweep", got, scalar)
+	}
+
+	v1, v2 := Linspace(1.0, 3.3, 9), Linspace(1e6, 8e6, 7)
+	scalar2, err := (&Runner{Workers: 1, ChunkSize: 1}).Sweep2D(context.Background(), d, "vdd", v1, "f", v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := (&Runner{Workers: 3, ChunkSize: 16}).Sweep2D(context.Background(), d, "vdd", v1, "f", v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameBits(t, "2-D sweep", got2, scalar2)
+}
+
+// exprErrDesign binds a row clock to a global that divides by zero at
+// exactly vdd = 2, so a sweep crossing that point fails with a specific
+// expression error at a specific index.
+func exprErrDesign(t *testing.T) *sheet.Design {
+	t.Helper()
+	d := testDesign(t)
+	if err := d.Root.SetGlobal("badf", "1e6/(vdd-2)"); err != nil {
+		t.Fatal(err)
+	}
+	x := d.Root.Find("x")
+	if x == nil {
+		t.Fatal("no row x")
+	}
+	if err := x.SetParam("f", "badf"); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestChunkedSweepErrorTextMatchesScalar pins the error contract: a
+// failing chunk is re-run point by point, so the chunked engine reports
+// exactly the scalar engine's error — same text, same (lowest-indexed)
+// point — for both schema violations and expression errors.
+func TestChunkedSweepErrorTextMatchesScalar(t *testing.T) {
+	cases := []struct {
+		name   string
+		design *sheet.Design
+		values []float64
+	}{
+		// Negative supplies violate the std schema from index 3 on.
+		{"schema", testDesign(t), []float64{1.5, 1.6, 1.7, -1, -2, -3, -4, -5}},
+		// vdd = 2.0 at index 2 divides by zero inside a global.
+		{"expression", exprErrDesign(t), []float64{1.5, 1.75, 2.0, 2.25, 2.0, 2.75}},
+	}
+	for _, c := range cases {
+		pts, want := (&Runner{Workers: 1, ChunkSize: 1}).Sweep(context.Background(), c.design, "vdd", c.values)
+		if want == nil || pts != nil {
+			t.Fatalf("%s: scalar sweep did not fail: %v", c.name, pts)
+		}
+		for _, cfg := range []Runner{
+			{Workers: 1},
+			{Workers: 4},
+			{Workers: 4, ChunkSize: 2},
+			{Workers: 2, ChunkSize: 3},
+		} {
+			cfg := cfg
+			_, err := cfg.Sweep(context.Background(), c.design, "vdd", c.values)
+			if err == nil {
+				t.Fatalf("%s %+v: no error", c.name, cfg)
+			}
+			if err.Error() != want.Error() {
+				t.Errorf("%s %+v:\n  chunked: %v\n  scalar:  %v", c.name, cfg, err, want)
+			}
+		}
+	}
+}
+
+// cycleDesign builds a sheet whose plan is rejected by the conservative
+// static cycle check (the global's false self-reference) even though
+// the lazy interpreter evaluates it fine: hoisting and therefore the
+// columnar engine are unavailable, and every point takes the full
+// EvaluateAt fallback.
+func cycleDesign(t *testing.T) *sheet.Design {
+	t.Helper()
+	d := testDesign(t)
+	if err := d.Root.SetGlobal("g", "vdd < 100 ? 3e6 : g"); err != nil {
+		t.Fatal(err)
+	}
+	x := d.Root.Find("x")
+	if err := x.SetParam("f", "g"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.PlanFor([]string{"vdd"}); err == nil {
+		t.Fatal("fixture broken: plan compiled, fallback path not exercised")
+	}
+	return d
+}
+
+// TestSweepCacheAccountingOncePerPoint is the accounting regression
+// test: a cached (or duplicated) point re-requested within one sweep
+// must cost exactly one lookup — one hit or one miss — never a second
+// lookup from the evaluation path.  Covers both the columnar chunk path
+// and the scalar fallback (hoisting unavailable).
+func TestSweepCacheAccountingOncePerPoint(t *testing.T) {
+	for _, c := range []struct {
+		name   string
+		design *sheet.Design
+	}{
+		{"columnar", testDesign(t)},
+		{"scalar-fallback", cycleDesign(t)},
+	} {
+		cache := NewCache(0)
+		r := &Runner{Workers: 1, ChunkSize: 2, Cache: cache}
+		// The same operating point twice within one chunk: two misses,
+		// no phantom hit from the second evaluation-and-store.
+		pts, err := r.Sweep(context.Background(), c.design, "vdd", []float64{2.5, 2.5})
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if math.Float64bits(pts[0].Power) != math.Float64bits(pts[1].Power) {
+			t.Errorf("%s: duplicate points disagree: %v vs %v", c.name, pts[0].Power, pts[1].Power)
+		}
+		if hits, misses := cache.Stats(); hits != 0 || misses != 2 {
+			t.Errorf("%s cold: hits=%d misses=%d, want 0/2", c.name, hits, misses)
+		}
+		// Warm repeat: every request is one hit, nothing re-evaluated.
+		if _, err := r.Sweep(context.Background(), c.design, "vdd", []float64{2.5, 2.5}); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if hits, misses := cache.Stats(); hits != 2 || misses != 2 {
+			t.Errorf("%s warm: hits=%d misses=%d, want 2/2", c.name, hits, misses)
+		}
+	}
+}
+
+// TestChunkedSweepFallbackMatchesScalar: with hoisting unavailable the
+// chunked engine still returns exactly what the scalar engine does.
+func TestChunkedSweepFallbackMatchesScalar(t *testing.T) {
+	d := cycleDesign(t)
+	values := Linspace(1.0, 3.3, 11)
+	want, err := (&Runner{Workers: 1, ChunkSize: 1}).Sweep(context.Background(), d, "vdd", values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := (&Runner{Workers: 4}).Sweep(context.Background(), d, "vdd", values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameBits(t, "fallback sweep", got, want)
+}
+
+// TestChunkSizeResolution pins the effective-chunk policy: small sweeps
+// shrink the chunk so the whole worker pool stays busy.
+func TestChunkSizeResolution(t *testing.T) {
+	cases := []struct {
+		workers, chunk, n, want int
+	}{
+		{1, 0, 10000, DefaultChunkSize},
+		{1, 16, 100, 16},
+		{1, -3, 100, DefaultChunkSize},
+		{4, 256, 64, 16},  // shrunk: 4 workers × 16 points
+		{4, 8, 64, 8},     // explicit size below the shrink point wins
+		{8, 0, 4, 1},      // more workers than points
+		{2, 1, 1000, 1},   // batching disabled
+		{3, 256, 100, 34}, // ceil(100/3)
+	}
+	for _, c := range cases {
+		r := &Runner{Workers: c.workers, ChunkSize: c.chunk}
+		if got := r.chunkSize(c.n); got != c.want {
+			t.Errorf("workers=%d chunk=%d n=%d: chunkSize = %d, want %d",
+				c.workers, c.chunk, c.n, got, c.want)
+		}
+	}
+}
+
+// TestChunkedSweepWithRemoteishModel: a design mixing a kernelizable
+// library model with a custom Func (no sweep form) still sweeps
+// bit-identically — the batch executor prices the Func rows per point
+// inside the chunk.
+func TestChunkedMixedModelSweep(t *testing.T) {
+	reg := model.NewRegistry()
+	reg.MustRegister(&model.Func{
+		Meta: model.Info{
+			Name: "odd", Title: "t", Class: model.Computation, Doc: "d",
+			Params: model.WithStd(),
+		},
+		Fn: func(p model.Params) (*model.Estimate, error) {
+			e := &model.Estimate{VDD: p.VDD()}
+			e.AddCap("c", units.Farads(33e-15*math.Sqrt(float64(p.VDD()))), p.Freq())
+			e.Delay = units.Seconds(5e-9 * model.DelayScale(float64(p.VDD())))
+			return e, nil
+		},
+	})
+	d := sheet.NewDesign("mixed", reg)
+	d.Root.SetGlobalValue("vdd", 1.5, "1.5")
+	d.Root.SetGlobalValue("f", 2e6, "2MHz")
+	d.Root.MustAddChild("a", "odd")
+	d.Root.MustAddChild("b", "odd")
+	values := Linspace(0.8, 3.3, 33)
+	want, err := (&Runner{Workers: 1, ChunkSize: 1}).Sweep(context.Background(), d, "vdd", values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := (&Runner{Workers: 2, ChunkSize: 8}).Sweep(context.Background(), d, "vdd", values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameBits(t, "mixed sweep", got, want)
+}

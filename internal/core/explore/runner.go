@@ -14,9 +14,9 @@ import (
 	"powerplay/internal/obs"
 )
 
-// Engine instrumentation: points priced, worker time burned, sweeps
-// torn down early.  One counter add per point (and one per worker) —
-// noise next to a sheet evaluation.
+// Engine instrumentation: points priced, chunks processed, worker time
+// burned, sweeps torn down early.  A handful of counter adds per chunk
+// — noise next to a sheet evaluation.
 var (
 	explorePoints = obs.NewCounter("powerplay_explore_points_total",
 		"Design points evaluated (or recalled from cache) by the exploration engine.")
@@ -24,7 +24,29 @@ var (
 		"Cumulative time exploration workers spent evaluating points.")
 	exploreCancellations = obs.NewCounter("powerplay_explore_cancellations_total",
 		"Explorations abandoned because their context was canceled or timed out.")
+	// exploreChunks tells the columnar story per chunk: "columnar"
+	// chunks ran the batch executor end to end, "scalar" chunks fell
+	// back to per-point evaluation (non-batchable sheet, failed batch,
+	// batching disabled), "cached" chunks were answered entirely from
+	// the point cache.
+	exploreChunks = obs.NewCounterVec("powerplay_explore_chunks_total",
+		"Sweep chunks processed by the exploration engine, by result.", "result")
+	// exploreBatchPoints splits the same traffic per point: how many
+	// points each path actually resolved.  columnar/scalar/cache adds
+	// sum to powerplay_explore_points_total for chunked sweeps.
+	exploreBatchPoints = obs.NewCounterVec("powerplay_explore_batch_points_total",
+		"Sweep points resolved by the chunked exploration engine, by path.", "path")
+	explorePointsPerSec = obs.NewGauge("powerplay_explore_points_per_second",
+		"Throughput of the most recently completed sweep, in points per wall-clock second.")
+	exploreChunkSize = obs.NewGauge("powerplay_explore_chunk_size",
+		"Effective chunk size of the most recently started sweep.")
 )
+
+// DefaultChunkSize is the sweep chunk size a zero Runner.ChunkSize
+// selects.  256 points is large enough to amortize the columnar
+// executor's per-chunk dispatch to nothing and small enough that a
+// chunk's column working set stays cache-resident.
+const DefaultChunkSize = 256
 
 // noteInterrupted records (and logs, with the request ID the context
 // carries) an exploration that died of cancellation or deadline rather
@@ -38,8 +60,10 @@ func noteInterrupted(ctx context.Context, err error, points int) {
 }
 
 // Runner is the parallel exploration engine: it fans design points out
-// across a pool of worker goroutines, each evaluating against its own
-// snapshot of the design, and reassembles the results in input order.
+// across a pool of worker goroutines in fixed-size chunks, each worker
+// evaluating against its own snapshot of the design — columnar when
+// the sheet allows, per point otherwise — and reassembles the results
+// in input order.
 //
 // The zero value is ready to use and is what the package-level Sweep,
 // Sweep2D, MinSupply and VoltageScale delegate to.
@@ -55,31 +79,47 @@ func noteInterrupted(ctx context.Context, err error, points int) {
 // locked.
 //
 // Cancellation: every method takes a context.Context and stops promptly
-// — no later than the next point boundary — when the context is
-// canceled or its deadline passes, returning an error that wraps
-// ctx.Err() (so errors.Is(err, context.Canceled) and
+// — no later than the next chunk boundary (the next point boundary when
+// evaluating per point) — when the context is canceled or its deadline
+// passes, returning an error that wraps ctx.Err() (so
+// errors.Is(err, context.Canceled) and
 // errors.Is(err, context.DeadlineExceeded) work).  Points already
 // evaluated are discarded; partial sweeps are never returned.
 //
 // Determinism: results are ordered by input position regardless of
-// worker count or scheduling, and a failing sweep always reports the
-// error of the lowest-indexed failing point, so serial and parallel
-// runs are observably identical apart from wall-clock time.
+// worker count, scheduling or chunking, and a failing sweep always
+// reports the error of the lowest-indexed failing point with the same
+// text the serial scalar path produces.  The columnar fast path never
+// reports its own errors — a chunk whose batch evaluation fails is
+// re-evaluated point by point, which rediscovers the canonical failure
+// in order — so serial, parallel, batched and unbatched runs are
+// observably identical apart from wall-clock time.
 type Runner struct {
 	// Workers caps the number of concurrent evaluation goroutines.
 	// Zero or negative selects runtime.GOMAXPROCS(0).  A sweep never
-	// uses more workers than it has points; Workers == 1 evaluates
+	// uses more workers than it has chunks; Workers == 1 evaluates
 	// serially on the caller's design without cloning.
 	Workers int
+
+	// ChunkSize sets how many consecutive points a worker claims at a
+	// time — the unit of columnar evaluation and of cancellation.
+	// Zero or negative selects DefaultChunkSize; 1 disables columnar
+	// evaluation entirely (every point runs the scalar path).  Sweeps
+	// small relative to the worker pool use a smaller effective chunk
+	// so every worker stays busy.
+	ChunkSize int
 
 	// Cache, when non-nil, memoizes evaluated points by override
 	// vector (see Cache for the validity rules).  All workers share
 	// it, so a 2-D sweep that revisits a column and a repeated web
-	// request both hit memoized points.
+	// request both hit memoized points.  Each requested point costs
+	// exactly one lookup per sweep — a hit fills the point from the
+	// record, a miss evaluates and stores it without a second lookup —
+	// so Stats counts requests, not internal traffic.
 	Cache *Cache
 }
 
-// workers resolves the effective pool size for n points.
+// workers resolves the effective pool size for n work items.
 func (r *Runner) workers(n int) int {
 	w := r.Workers
 	if w <= 0 {
@@ -92,6 +132,29 @@ func (r *Runner) workers(n int) int {
 		w = 1
 	}
 	return w
+}
+
+// chunkSize resolves the effective chunk length for an n-point sweep:
+// the configured size, shrunk so a sweep with fewer points than
+// workers×chunk still spreads across the whole pool.
+func (r *Runner) chunkSize(n int) int {
+	c := r.ChunkSize
+	if c <= 0 {
+		c = DefaultChunkSize
+	}
+	w := r.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > 1 {
+		if per := (n + w - 1) / w; c > per {
+			c = per
+		}
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
 }
 
 // Sweep evaluates the design across values of one variable, in order.
@@ -126,10 +189,10 @@ func (r *Runner) Sweep2D(ctx context.Context, d *sheet.Design, n1 string, v1 []f
 // error if even hi misses the target, if the design fails to evaluate,
 // or if ctx is canceled mid-search.
 //
-// Bisection is inherently sequential, so MinSupply never parallelizes;
-// it still honors ctx at every probe and shares the Runner's Cache, so
-// repeated searches (the web analysis page, ArchScale's per-lane
-// loops) hit memoized operating points.
+// Bisection is inherently sequential, so MinSupply never parallelizes
+// or batches; it still honors ctx at every probe and shares the
+// Runner's Cache, so repeated searches (the web analysis page,
+// ArchScale's per-lane loops) hit memoized operating points.
 func (r *Runner) MinSupply(ctx context.Context, d *sheet.Design, fTarget, lo, hi float64) (float64, error) {
 	if !(lo > 0 && hi > lo) {
 		return 0, fmt.Errorf("explore: bad supply range [%g, %g]", lo, hi)
@@ -206,32 +269,34 @@ func (r *Runner) VoltageScale(ctx context.Context, d *sheet.Design, fTarget, lo,
 // the computation: it compiles the design's evaluation plan for the
 // override-name set (all points of a sweep share one), executes every
 // step that cannot depend on the swept variables once, and snapshots
-// the result.  Each point then replays only the override-dependent cone
-// over a copy of that baseline.  When hoisting is unavailable — the
-// plan does not compile, or the invariant steps themselves fail — every
-// point falls back to the full EvaluateAt path, which reproduces the
-// canonical error messages.
+// the result.  The points are then processed in chunks: each chunk's
+// cache misses are evaluated columnar against the baseline (one
+// sheet.BatchEval pass over the whole chunk), falling back to the
+// per-point replay — and, when hoisting is unavailable, to the full
+// EvaluateAt path, which reproduces the canonical error messages.
 func (r *Runner) run(ctx context.Context, d *sheet.Design, overrides []map[string]float64) ([]Point, error) {
-	out := make([]Point, len(overrides))
-	sw := hoist(d, overrides)
-	if w := r.workers(len(overrides)); w > 1 {
-		if err := r.runParallel(ctx, d, overrides, out, w, sw); err != nil {
-			noteInterrupted(ctx, err, len(overrides))
-			return nil, err
-		}
+	n := len(overrides)
+	out := make([]Point, n)
+	if n == 0 {
 		return out, nil
 	}
-	// Serial fast path: evaluate on the caller's design, no clone.
-	ev := newEval(sw)
+	sw := hoist(d, overrides)
+	chunk := r.chunkSize(n)
+	nchunks := (n + chunk - 1) / chunk
+	exploreChunkSize.Set(float64(chunk))
 	start := time.Now()
-	defer func() { exploreBusySeconds.Add(time.Since(start).Seconds()) }()
-	for i, ov := range overrides {
-		p, err := r.point(ctx, d, ev, ov)
-		if err != nil {
-			noteInterrupted(ctx, err, len(overrides))
-			return nil, err
-		}
-		out[i] = p
+	var err error
+	if w := r.workers(nchunks); w > 1 {
+		err = r.runParallel(ctx, d, overrides, out, w, sw, chunk)
+	} else {
+		err = r.runSerial(ctx, d, overrides, out, sw, chunk)
+	}
+	if err != nil {
+		noteInterrupted(ctx, err, n)
+		return nil, err
+	}
+	if el := time.Since(start).Seconds(); el > 0 {
+		explorePointsPerSec.Set(float64(n) / el)
 	}
 	return out, nil
 }
@@ -275,7 +340,7 @@ func hoist(d *sheet.Design, overrides []map[string]float64) *sheet.Sweeper {
 
 // newEval is the nil-safe per-goroutine evaluation context constructor:
 // a nil Sweeper (hoisting unavailable) yields a nil SweepEval, which
-// point treats as "no fast path".
+// the point evaluators treat as "no fast path".
 func newEval(sw *sheet.Sweeper) *sheet.SweepEval {
 	if sw == nil {
 		return nil
@@ -283,27 +348,57 @@ func newEval(sw *sheet.Sweeper) *sheet.SweepEval {
 	return sw.NewEval()
 }
 
-// runParallel fans the points out over w workers, each evaluating its
+// newBatchEval is the nil-safe columnar counterpart: no baseline or a
+// chunk too small to batch yields nil, which runChunk treats as
+// "scalar only".
+func newBatchEval(sw *sheet.Sweeper, chunk int) *sheet.BatchEval {
+	if sw == nil || chunk < 2 {
+		return nil
+	}
+	return sw.NewBatchEval(chunk)
+}
+
+// runSerial processes the chunks in order on the caller's goroutine,
+// evaluating on the caller's design with no clone.
+func (r *Runner) runSerial(ctx context.Context, d *sheet.Design, overrides []map[string]float64, out []Point, sw *sheet.Sweeper, chunk int) error {
+	ev := newEval(sw)
+	bev := newBatchEval(sw, chunk)
+	start := time.Now()
+	defer func() { exploreBusySeconds.Add(time.Since(start).Seconds()) }()
+	for lo := 0; lo < len(overrides); lo += chunk {
+		hi := min(lo+chunk, len(overrides))
+		if _, err := r.runChunk(ctx, d, ev, bev, overrides, out, lo, hi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runParallel fans the chunks out over w workers, each evaluating its
 // own clone of d.  Result slots are pre-assigned by index, so no two
 // goroutines ever write the same element and the output order matches
 // the input regardless of scheduling.
-func (r *Runner) runParallel(parent context.Context, d *sheet.Design, overrides []map[string]float64, out []Point, w int, sw *sheet.Sweeper) error {
-	// The internal context stops the index feed once any point fails;
-	// workers evaluate the point they already hold under the PARENT
+func (r *Runner) runParallel(parent context.Context, d *sheet.Design, overrides []map[string]float64, out []Point, w int, sw *sheet.Sweeper, chunk int) error {
+	// The internal context stops the chunk feed once any point fails;
+	// workers evaluate the chunk they already hold under the PARENT
 	// context.  That distinction is what makes error reporting
-	// deterministic: indices are handed out in order, so when point k
-	// fails, every lower index is already held by some worker and gets
-	// fully evaluated — the lowest-indexed failure is always observed,
-	// exactly as a serial run would report it.
+	// deterministic: chunk indices are handed out in order, so when a
+	// point in chunk c fails, every lower chunk is already held by some
+	// worker and gets fully evaluated — and within a chunk the scalar
+	// fallback walks the points in order — so the lowest-indexed
+	// failure is always observed, exactly as a serial run would report
+	// it.
 	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 
+	n := len(overrides)
+	nchunks := (n + chunk - 1) / chunk
 	idx := make(chan int)
 	go func() {
 		defer close(idx)
-		for i := range overrides {
+		for c := 0; c < nchunks; c++ {
 			select {
-			case idx <- i:
+			case idx <- c:
 			case <-ctx.Done():
 				return
 			}
@@ -316,7 +411,7 @@ func (r *Runner) runParallel(parent context.Context, d *sheet.Design, overrides 
 		errIdx   = -1
 	)
 	var wg sync.WaitGroup
-	for n := 0; n < w; n++ {
+	for i := 0; i < w; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -326,24 +421,27 @@ func (r *Runner) runParallel(parent context.Context, d *sheet.Design, overrides 
 			// is O(rows × points/worker), so the clone amortizes away
 			// while guaranteeing race freedom against the caller.  The
 			// hoisted Sweeper is shared — it is immutable — but each
-			// worker gets its own SweepEval (a private slot vector over
-			// the shared baseline); the clone serves the fallback path.
+			// worker gets its own SweepEval and BatchEval (private
+			// slot vectors and columns over the shared baseline); the
+			// clone serves the fallback path.
 			snap := d.Clone()
 			ev := newEval(sw)
-			for i := range idx {
-				p, err := r.point(parent, snap, ev, overrides[i])
+			bev := newBatchEval(sw, chunk)
+			for c := range idx {
+				lo := c * chunk
+				hi := min(lo+chunk, n)
+				at, err := r.runChunk(parent, snap, ev, bev, overrides, out, lo, hi)
 				if err != nil {
 					mu.Lock()
 					// Keep the lowest-indexed failure so parallel runs
 					// report the same error a serial run would.
-					if errIdx == -1 || i < errIdx {
-						firstErr, errIdx = err, i
+					if errIdx == -1 || at < errIdx {
+						firstErr, errIdx = err, at
 					}
 					mu.Unlock()
 					cancel()
 					return
 				}
-				out[i] = p
 			}
 		}()
 	}
@@ -357,25 +455,106 @@ func (r *Runner) runParallel(parent context.Context, d *sheet.Design, overrides 
 	return firstErr
 }
 
-// point evaluates (or recalls from cache) a single override vector.
-// It checks ctx before doing any work, so a canceled sweep stops at
-// the next point boundary.
+// runChunk prices points [lo, hi) of the sweep.  The chunk makes one
+// pass over the cache (exactly one lookup per requested point — a
+// cached point re-requested within a sweep counts one hit, never two),
+// evaluates the misses columnar in a single BatchEval pass, and on any
+// batch error — whose text and position are not canonical, see the
+// BatchEval contract — re-evaluates the misses in order through the
+// scalar path, which reproduces the error of the lowest-indexed
+// failing point verbatim.  On failure the returned int is that point's
+// global index.
+func (r *Runner) runChunk(ctx context.Context, d *sheet.Design, ev *sheet.SweepEval, bev *sheet.BatchEval, overrides []map[string]float64, out []Point, lo, hi int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return lo, fmt.Errorf("explore: sweep interrupted: %w", err)
+	}
+	n := hi - lo
+	pending := make([]int, 0, n) // chunk-relative indexes still to price
+	var keys []string
+	if r.Cache != nil {
+		keys = make([]string, n)
+		for rel := 0; rel < n; rel++ {
+			ov := overrides[lo+rel]
+			keys[rel] = Key(ov)
+			if rec, ok := r.Cache.lookup(keys[rel]); ok {
+				out[lo+rel] = Point{Vars: ov, Power: rec.power, Area: rec.area, Delay: rec.delay}
+				explorePoints.Inc()
+				exploreBatchPoints.With("cache").Inc()
+				continue
+			}
+			pending = append(pending, rel)
+		}
+	} else {
+		for rel := 0; rel < n; rel++ {
+			pending = append(pending, rel)
+		}
+	}
+	if len(pending) == 0 {
+		exploreChunks.With("cached").Inc()
+		return 0, nil
+	}
+	if bev != nil && r.chunkColumnar(ctx, bev, overrides, out, lo, pending, keys) {
+		return 0, nil
+	}
+	exploreChunks.With("scalar").Inc()
+	for _, rel := range pending {
+		var key string
+		if keys != nil {
+			key = keys[rel]
+		}
+		p, err := r.evalPoint(ctx, d, ev, overrides[lo+rel], key)
+		if err != nil {
+			return lo + rel, err
+		}
+		out[lo+rel] = p
+		exploreBatchPoints.With("scalar").Inc()
+	}
+	return 0, nil
+}
+
+// chunkColumnar attempts one columnar evaluation of a chunk's pending
+// points, back-filling results (and the cache) on success.  It reports
+// false — claiming nothing, counting nothing — when the batch fails
+// (including by cancellation); the caller's scalar pass then owns the
+// chunk and reproduces the canonical error.
+func (r *Runner) chunkColumnar(ctx context.Context, bev *sheet.BatchEval, overrides []map[string]float64, out []Point, lo int, pending []int, keys []string) bool {
+	m := len(pending)
+	pts := make([]map[string]float64, m)
+	for i, rel := range pending {
+		pts[i] = overrides[lo+rel]
+	}
+	pw := make([]float64, m)
+	area := make([]float64, m)
+	delay := make([]float64, m)
+	if err := bev.Run(ctx, pts, pw, area, delay); err != nil {
+		return false
+	}
+	for i, rel := range pending {
+		p := Point{Vars: pts[i], Power: pw[i], Area: area[i], Delay: delay[i]}
+		if r.Cache != nil {
+			r.Cache.store(cacheRecord{key: keys[rel], power: p.Power, area: p.Area, delay: p.Delay})
+		}
+		out[lo+rel] = p
+		explorePoints.Inc()
+	}
+	exploreChunks.With("columnar").Inc()
+	exploreBatchPoints.With("columnar").Add(float64(m))
+	return true
+}
+
+// evalPoint prices one point through the scalar path and, when the
+// Runner has a cache, stores it under key — already canonicalized by
+// the caller's cache pass.  evalPoint itself never looks the point up:
+// the lookup happened when the point entered its chunk (or in point),
+// so hit/miss accounting counts each requested point exactly once.
 //
 // When ev is non-nil it is tried first: the hoisted fast path replays
 // only the override-dependent cone of the compiled plan and yields
 // totals identical to a full evaluation.  Any fast-path error falls
 // through to EvaluateAt, which reproduces the canonical message.
-func (r *Runner) point(ctx context.Context, d *sheet.Design, ev *sheet.SweepEval, overrides map[string]float64) (Point, error) {
+func (r *Runner) evalPoint(ctx context.Context, d *sheet.Design, ev *sheet.SweepEval, overrides map[string]float64, key string) (Point, error) {
 	if err := ctx.Err(); err != nil {
 		return Point{}, fmt.Errorf("explore: sweep interrupted: %w", err)
-	}
-	var key string
-	if r.Cache != nil {
-		key = Key(overrides)
-		if rec, ok := r.Cache.lookup(key); ok {
-			explorePoints.Inc()
-			return Point{Vars: overrides, Power: rec.power, Area: rec.area, Delay: rec.delay}, nil
-		}
 	}
 	p, ok := Point{}, false
 	if ev != nil {
@@ -398,6 +577,25 @@ func (r *Runner) point(ctx context.Context, d *sheet.Design, ev *sheet.SweepEval
 	}
 	explorePoints.Inc()
 	return p, nil
+}
+
+// point evaluates (or recalls from cache) a single override vector —
+// the sequential entry point MinSupply and VoltageScale probe through.
+// It checks ctx before doing any work, so a canceled search stops at
+// the next probe.
+func (r *Runner) point(ctx context.Context, d *sheet.Design, ev *sheet.SweepEval, overrides map[string]float64) (Point, error) {
+	if err := ctx.Err(); err != nil {
+		return Point{}, fmt.Errorf("explore: sweep interrupted: %w", err)
+	}
+	var key string
+	if r.Cache != nil {
+		key = Key(overrides)
+		if rec, ok := r.Cache.lookup(key); ok {
+			explorePoints.Inc()
+			return Point{Vars: overrides, Power: rec.power, Area: rec.area, Delay: rec.delay}, nil
+		}
+	}
+	return r.evalPoint(ctx, d, ev, overrides, key)
 }
 
 // overridesLabel renders an override vector for error messages

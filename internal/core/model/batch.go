@@ -1,0 +1,154 @@
+package model
+
+// Columnar model evaluation.
+//
+// A sweep holds every structural parameter of a row fixed — bit widths,
+// memory organization, activity, technology — and varies only the
+// operating point (vdd, f).  For every library model built on the EQ 1
+// template, the estimate at fixed structure is then a closed form in
+// vdd and f:
+//
+//	P(vdd, f) = Σᵢ Csw,ᵢ · swingᵢ(vdd) · vdd · fᵢ(f)  +  Σⱼ Iⱼ · vdd
+//	delay(vdd) = Delay0 · DelayScale(vdd)
+//	area       = const
+//
+// SweepForm captures exactly that closed form, and EvalCols evaluates
+// it over whole columns of operating points at once — no Estimate
+// allocation, no parameter map, no per-point model dispatch.  The
+// arithmetic in EvalCols replicates, operation for operation, what
+// Model.Evaluate followed by Estimate.Power/DynamicPower/StaticPower
+// computes per point, so columnar results are bit-identical to the
+// scalar path — the property the sheet layer's equivalence oracle
+// depends on.
+
+// SweepTerm is one dynamic EQ 1 term of a sweep form: a capacitance
+// lump whose per-point power is ((Csw·swing)·vdd)·freq, with swing and
+// freq resolved per the field rules below.
+type SweepTerm struct {
+	// Csw is the switched capacitance in farads, with every structural
+	// factor (activity folded into capacitance, technology scale)
+	// already applied — computed by the model exactly as its Evaluate
+	// would compute the Contribution's Csw.
+	Csw float64
+	// Swing is the voltage swing; zero means full rail (the point's
+	// vdd), mirroring Contribution.Vswing.
+	Swing float64
+	// FMul scales the point's f column to this term's switching
+	// frequency (an activity or clock-divider factor the model's
+	// Evaluate folds into the Contribution's Freq).  Ignored when
+	// FConst is set.
+	FMul float64
+	// FConst, when nonzero, is an absolute switching frequency
+	// independent of the swept f (a DRAM refresh clock).
+	FConst float64
+}
+
+// SweepForm is a model's estimate at fixed structural parameters,
+// closed over the operating point.  It is immutable once built and safe
+// to share across chunks and goroutines.
+type SweepForm struct {
+	// Dyn holds the dynamic terms in the same order the model's
+	// Evaluate emits its Contributions (power sums are order-sensitive
+	// in floating point).
+	Dyn []SweepTerm
+	// Static holds the static currents in amps, in StaticTerm order.
+	Static []float64
+	// Area is the (operating-point-independent) area in square meters.
+	Area float64
+	// Delay0 is the delay at the reference supply with every structural
+	// factor applied; per-point delay is Delay0 · DelayScale(vdd).
+	Delay0 float64
+}
+
+// SweepFormer is the optional Model extension the columnar sheet
+// executor uses.  SweepForm returns the model's closed form at the
+// given (fully validated and defaulted) parameter point, reading only
+// structural parameters — vdd and f in p are placeholders and must not
+// influence the form.  Returning ok == false means "no closed form at
+// these parameters" (or for this model at all); the caller falls back
+// to per-point Evaluate calls, which is always correct.
+//
+// Implementations must compute each field with the same floating-point
+// expressions (same operations, same order) their Evaluate uses, so
+// that EvalCols reproduces the scalar results bit for bit.
+type SweepFormer interface {
+	SweepForm(p Params) (sf *SweepForm, ok bool)
+}
+
+// DelayScaleCols fills ds[i] = DelayScale(vdd[i]) for points 0..n-1.
+// The two math.Pow calls inside DelayScale dominate a columnar row
+// evaluation, so callers memoize the result per vdd column and share it
+// across every row reading that column.
+func DelayScaleCols(ds, vdd []float64, n int) {
+	for i := 0; i < n; i++ {
+		ds[i] = DelayScale(vdd[i])
+	}
+}
+
+// EvalCols evaluates the form for points 0..n-1: vdd and f are the
+// operating-point columns, ds is the matching DelayScale column (see
+// DelayScaleCols), and the five result columns receive exactly what the
+// scalar path's Power/DynamicPower/StaticPower/Area/Delay reductions
+// produce per point.
+func (sf *SweepForm) EvalCols(vdd, f, ds, pw, dyn, stat, area, delay []float64, n int) {
+	for i := 0; i < n; i++ {
+		dyn[i] = 0
+	}
+	for _, t := range sf.Dyn {
+		// Each loop mirrors Estimate.Power's per-term expression
+		// ((Csw·swing)·VDD)·Freq.  Csw·Swing is hoisted when the swing
+		// is fixed (both factors constant, so the product is the same
+		// bits every iteration); the FMul == 1 case uses f[i] directly,
+		// which matches the models that pass p.Freq() through unscaled.
+		switch {
+		case t.FConst != 0 && t.Swing == 0:
+			for i := 0; i < n; i++ {
+				dyn[i] += t.Csw * vdd[i] * vdd[i] * t.FConst
+			}
+		case t.FConst != 0:
+			cs := t.Csw * t.Swing
+			for i := 0; i < n; i++ {
+				dyn[i] += cs * vdd[i] * t.FConst
+			}
+		case t.Swing == 0 && t.FMul == 1:
+			for i := 0; i < n; i++ {
+				dyn[i] += t.Csw * vdd[i] * vdd[i] * f[i]
+			}
+		case t.Swing == 0:
+			for i := 0; i < n; i++ {
+				dyn[i] += t.Csw * vdd[i] * vdd[i] * (f[i] * t.FMul)
+			}
+		case t.FMul == 1:
+			cs := t.Csw * t.Swing
+			for i := 0; i < n; i++ {
+				dyn[i] += cs * vdd[i] * f[i]
+			}
+		default:
+			cs := t.Csw * t.Swing
+			for i := 0; i < n; i++ {
+				dyn[i] += cs * vdd[i] * (f[i] * t.FMul)
+			}
+		}
+	}
+	// Power() accumulates the dynamic terms first — the partial sum at
+	// that point is bit-identical to DynamicPower()'s total — then adds
+	// the static terms; StaticPower() accumulates the same I·vdd
+	// products from zero.
+	copy(pw[:n], dyn[:n])
+	for i := 0; i < n; i++ {
+		stat[i] = 0
+	}
+	for _, cur := range sf.Static {
+		for i := 0; i < n; i++ {
+			v := cur * vdd[i]
+			pw[i] += v
+			stat[i] += v
+		}
+	}
+	for i := 0; i < n; i++ {
+		area[i] = sf.Area
+	}
+	for i := 0; i < n; i++ {
+		delay[i] = sf.Delay0 * ds[i]
+	}
+}

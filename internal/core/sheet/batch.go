@@ -1,0 +1,474 @@
+package sheet
+
+// Columnar plan execution.
+//
+// A BatchEval is the chunked counterpart of SweepEval: where SweepEval
+// replays the override-dependent cone of a compiled plan once per
+// point, a BatchEval replays it once per *chunk*, with every slot of
+// the plan widened to a []float64 column.  Expression steps run through
+// expr.Program.RunBatch (tight per-operator loops), model rows with a
+// closed sweep form run through model.SweepForm.EvalCols (no Estimate
+// allocation, no parameter map, DelayScale memoized per vdd column),
+// and the remaining work — non-batchable programs, models without a
+// sweep form — degrades gracefully to per-point execution inside the
+// chunk without giving up the columnar steps around it.
+//
+// Correctness contract, continuing the plan's: a Run that succeeds
+// produces, for every point, values bit-identical to SweepEval.At on
+// that point (each columnar path replicates the scalar path's
+// floating-point operations in order — see expr.RunBatch and
+// model.SweepForm for their halves of the argument).  A Run that fails
+// promises only that at least one point of the chunk would fail the
+// scalar path too; the error's text and position are NOT canonical.
+// Callers must treat any Run error as "re-evaluate this chunk point by
+// point through the scalar path", which reproduces the canonical error
+// at the canonical (lowest-indexed) point.  Batch errors are therefore
+// never user-visible.
+
+import (
+	"context"
+	"fmt"
+
+	"powerplay/internal/core/model"
+	"powerplay/internal/expr"
+	"powerplay/internal/obs"
+)
+
+// sheetBatchSteps counts variant plan steps executed per chunk by the
+// columnar executor, by path: "program" (columnar expression),
+// "program_scalar" (per-point expression: control flow), "kernel"
+// (model sweep form), "model_scalar" (per-point model evaluation).  A
+// high scalar share means the sheet defeats the batch engine and
+// explains a points/sec plateau.
+var sheetBatchSteps = obs.NewCounterVec("powerplay_sheet_batch_steps_total",
+	"Variant plan steps executed by the columnar sweep executor, by path.", "path")
+
+// batch step kinds.
+const (
+	bExpr        uint8 = iota // batchable expression program
+	bExprScalar               // expression with control flow: per-point Run
+	bAgg                      // model-less row: child aggregation only
+	bKernel                   // model with a sweep form: columnar kernel
+	bModelScalar              // model without one: per-point Evaluate
+)
+
+// batchStep is one variant plan step prepared for columnar execution.
+type batchStep struct {
+	st   *planStep
+	kind uint8
+
+	// bKernel / bModelScalar state.
+	mc   *rowModelCache
+	form *model.SweepForm
+	// vddCol and fCol supply the operating point to the kernel: plan
+	// columns when the parameter is slot-bound, private constant
+	// columns when defaulted.
+	vddCol, fCol []float64
+	// vddSlot >= 0 marks a sweep-variant vdd column whose DelayScale
+	// column comes from the per-chunk memo; otherwise dsConst holds the
+	// precomputed constant DelayScale column.
+	vddSlot int
+	dsConst []float64
+}
+
+// dsMemo is one per-chunk memoized DelayScale column.
+type dsMemo struct {
+	gen uint64
+	col []float64
+}
+
+// BatchEval evaluates chunks of sweep points against a hoisted
+// baseline, columnar wherever the plan allows.  It holds per-chunk
+// mutable state and must not be used concurrently; each worker builds
+// its own from the shared (immutable) Sweeper.
+type BatchEval struct {
+	sw       *Sweeper
+	capacity int
+	cols     [][]float64 // slot -> column; invariant slots broadcast baseline
+	bsteps   []batchStep
+	run      *planRun // scalar state for the per-point paths
+	bscratch expr.BatchScratch
+
+	built    bool
+	gen      uint64 // registry generation bsteps were prepared for
+	buildErr error
+
+	chunkGen uint64
+	ds       map[int]*dsMemo // vdd slot -> DelayScale column memo
+}
+
+// NewBatchEval returns a columnar evaluation context over the sweeper's
+// baseline, able to evaluate up to capacity points per Run.  Like
+// SweepEval, a BatchEval must not be used concurrently.
+func (s *Sweeper) NewBatchEval(capacity int) *BatchEval {
+	if capacity < 1 {
+		capacity = 1
+	}
+	p := s.plan
+	b := &BatchEval{
+		sw:       s,
+		capacity: capacity,
+		cols:     make([][]float64, p.slotCount),
+		run:      p.newRun(),
+		ds:       make(map[int]*dsMemo),
+	}
+	// The scalar-path slot vector starts at the baseline, exactly like
+	// a SweepEval's; per-point paths refresh only the variant slots
+	// they read.
+	copy(b.run.slots, s.baseline)
+	// Every slot gets a column: invariant slots broadcast their
+	// baseline value once here, variant slots are rewritten each Run by
+	// the override fill and the variant steps.
+	for i := range b.cols {
+		col := make([]float64, capacity)
+		if v := s.baseline[i]; v != 0 {
+			for j := range col {
+				col[j] = v
+			}
+		}
+		b.cols[i] = col
+	}
+	return b
+}
+
+// constCol allocates a column holding one value.
+func (b *BatchEval) constCol(v float64) []float64 {
+	col := make([]float64, b.capacity)
+	if v != 0 {
+		for i := range col {
+			col[i] = v
+		}
+	}
+	return col
+}
+
+// invValue resolves an invariant parameter entry's (run-independent)
+// value: a defaulted constant or a baseline slot.
+func (b *BatchEval) invValue(en *paramEntry) float64 {
+	if en.slot >= 0 {
+		return b.sw.baseline[en.slot]
+	}
+	return en.def
+}
+
+// buildParams assembles the full validated parameter map the sweep-form
+// kernels are built from: invariant entries carry their real values
+// (checked, as the scalar path would on its first fill), variant ones a
+// schema-default placeholder the form must not depend on.
+func (b *BatchEval) buildParams(mc *rowModelCache) (model.Params, error) {
+	full := make(model.Params, mc.size)
+	for i := range mc.invEntries {
+		en := &mc.invEntries[i]
+		v := b.invValue(en)
+		if en.check {
+			if err := en.param.Check(v); err != nil {
+				return nil, err
+			}
+		}
+		full[en.name] = v
+	}
+	for i := range mc.varEntries {
+		en := &mc.varEntries[i]
+		full[en.name] = en.param.Default
+	}
+	return full, nil
+}
+
+// opCol resolves the column feeding an operating-point parameter (vdd
+// or f) of a kernel row: the bound slot's column, a constant column for
+// a defaulted parameter, or — matching Params' zero-for-missing
+// semantics — a zero column when the model has no such parameter.  The
+// second result is the slot index when the column is sweep-variant, -1
+// when it is constant.
+func (b *BatchEval) opCol(mc *rowModelCache, name string) ([]float64, int) {
+	for i := range mc.varEntries {
+		if en := &mc.varEntries[i]; en.name == name {
+			return b.cols[en.slot], en.slot
+		}
+	}
+	for i := range mc.invEntries {
+		if en := &mc.invEntries[i]; en.name == name {
+			if en.slot >= 0 {
+				return b.cols[en.slot], -1
+			}
+			return b.constCol(en.def), -1
+		}
+	}
+	return b.constCol(0), -1
+}
+
+// build prepares the variant steps for columnar execution against one
+// registry generation.  A build failure poisons the BatchEval (Run
+// returns the error) rather than one step: the caller's scalar fallback
+// then reproduces the canonical failure, and a later registry change
+// triggers a rebuild.
+func (b *BatchEval) build(gen uint64) {
+	b.built, b.gen, b.buildErr = true, gen, nil
+	b.bsteps = b.bsteps[:0]
+	p := b.sw.plan
+	for _, si := range p.variantSteps {
+		st := p.steps[si]
+		bs := batchStep{st: st, vddSlot: -1}
+		switch {
+		case st.kind == stepExpr:
+			if st.prog.Batchable() {
+				bs.kind = bExpr
+			} else {
+				bs.kind = bExprScalar
+			}
+		case st.modelName == "":
+			bs.kind = bAgg
+		default:
+			m, ok := p.design.Registry.Lookup(st.modelName)
+			if !ok {
+				b.buildErr = fmt.Errorf("no model named %q in library", st.modelName)
+				return
+			}
+			mc := st.mc.Load()
+			if mc == nil || mc.gen != gen {
+				mc = buildRowModelCache(st, m, gen, p.variantSlot)
+				st.mc.Store(mc)
+			}
+			if mc.invalid != "" {
+				b.buildErr = fmt.Errorf("unknown parameter %q", mc.invalid)
+				return
+			}
+			bs.mc = mc
+			bs.kind = bModelScalar
+			// The kernel path needs the row's variant parameters to be
+			// exactly the operating point (a swept structural parameter
+			// — bit width, activity — changes the form itself) and the
+			// model to export a closed form.
+			opOnly := true
+			for i := range mc.varEntries {
+				if n := mc.varEntries[i].name; n != model.ParamVDD && n != model.ParamFreq {
+					opOnly = false
+					break
+				}
+			}
+			if sf, isFormer := m.(model.SweepFormer); isFormer && opOnly {
+				full, err := b.buildParams(mc)
+				if err != nil {
+					b.buildErr = err
+					return
+				}
+				if form, ok := sf.SweepForm(full); ok {
+					bs.kind = bKernel
+					bs.form = form
+					var vddSlot int
+					bs.vddCol, vddSlot = b.opCol(mc, model.ParamVDD)
+					bs.fCol, _ = b.opCol(mc, model.ParamFreq)
+					if vddSlot >= 0 {
+						bs.vddSlot = vddSlot
+					} else {
+						// Constant vdd (an f sweep): one DelayScale
+						// evaluation serves the whole column for the
+						// life of the eval.
+						bs.dsConst = b.constCol(model.DelayScale(bs.vddCol[0]))
+					}
+				}
+			}
+		}
+		b.bsteps = append(b.bsteps, bs)
+	}
+}
+
+// dsCol returns the per-chunk DelayScale column for a variant vdd slot,
+// computing it at most once per chunk regardless of how many rows read
+// the same supply.
+func (b *BatchEval) dsCol(slot, n int) []float64 {
+	m := b.ds[slot]
+	if m == nil {
+		m = &dsMemo{col: make([]float64, b.capacity)}
+		b.ds[slot] = m
+	}
+	if m.gen != b.chunkGen {
+		model.DelayScaleCols(m.col, b.cols[slot], n)
+		m.gen = b.chunkGen
+	}
+	return m.col
+}
+
+// aggregate folds the children's result columns into a row's, in child
+// order, replicating execStep's per-point accumulation.
+func (b *BatchEval) aggregate(st *planStep, n int) {
+	for _, cb := range st.childBases {
+		for o := slotPower; o <= slotArea; o++ {
+			dst := b.cols[st.base+o][:n]
+			src := b.cols[cb+o][:n]
+			for j := range dst {
+				dst[j] += src[j]
+			}
+		}
+		dst := b.cols[st.base+slotDelay][:n]
+		src := b.cols[cb+slotDelay][:n]
+		if st.compose == ComposeChain {
+			for j := range dst {
+				dst[j] += src[j]
+			}
+		} else {
+			for j := range dst {
+				if src[j] > dst[j] {
+					dst[j] = src[j]
+				}
+			}
+		}
+	}
+}
+
+// Run evaluates one chunk of override points and writes the design's
+// root totals for point i to pw[i], area[i], delay[i].  On success
+// every value is bit-identical to SweepEval.At on the same point; on
+// error the caller must re-evaluate the chunk through the scalar path
+// (see the contract at the top of the file).
+//
+// Run honors ctx between steps and — on the per-point sub-paths, where
+// a single model evaluation may be arbitrarily slow (remote models) —
+// between points, returning ctx.Err() unwrapped; to a caller that is a
+// batch error like any other, and the scalar re-run surfaces the
+// canonical interruption message.
+func (b *BatchEval) Run(ctx context.Context, points []map[string]float64, pw, area, delay []float64) error {
+	n := len(points)
+	if n == 0 {
+		return nil
+	}
+	if n > b.capacity {
+		return fmt.Errorf("sheet: batch of %d points exceeds capacity %d", n, b.capacity)
+	}
+	p := b.sw.plan
+	gen := p.design.Registry.Generation()
+	if !b.built || b.gen != gen {
+		b.build(gen)
+	}
+	if b.buildErr != nil {
+		return b.buildErr
+	}
+	b.chunkGen++
+	for i, name := range p.overrideNames {
+		col := b.cols[p.overrideSlots[i]]
+		for j, pt := range points {
+			v, ok := pt[name]
+			if !ok {
+				return fmt.Errorf("sweep point missing override %q", name)
+			}
+			col[j] = v
+		}
+	}
+	for si := range b.bsteps {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		bs := &b.bsteps[si]
+		st := bs.st
+		switch bs.kind {
+		case bExpr:
+			if err := st.prog.RunBatch(b.cols, b.cols[st.dst], n, &b.bscratch); err != nil {
+				return err
+			}
+			sheetBatchSteps.With("program").Inc()
+
+		case bExprScalar:
+			slots := st.prog.Slots()
+			for j := 0; j < n; j++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				for _, s := range slots {
+					b.run.slots[s] = b.cols[s][j]
+				}
+				v, err := st.prog.Run(b.run.slots, &b.run.scratch)
+				if err != nil {
+					return err
+				}
+				b.cols[st.dst][j] = v
+			}
+			sheetBatchSteps.With("program_scalar").Inc()
+
+		case bAgg:
+			for o := 0; o < nodeSlots; o++ {
+				col := b.cols[st.base+o][:n]
+				for j := range col {
+					col[j] = 0
+				}
+			}
+			b.aggregate(st, n)
+
+		case bKernel:
+			// Validation amortized per column: each variant operating-
+			// point parameter is range-checked in one pass over its
+			// column before any arithmetic runs.
+			for i := range bs.mc.varEntries {
+				en := &bs.mc.varEntries[i]
+				if !en.check {
+					continue
+				}
+				col := b.cols[en.slot][:n]
+				for j := range col {
+					if err := en.param.Check(col[j]); err != nil {
+						return err
+					}
+				}
+			}
+			ds := bs.dsConst
+			if ds == nil {
+				ds = b.dsCol(bs.vddSlot, n)
+			}
+			bs.form.EvalCols(bs.vddCol, bs.fCol, ds,
+				b.cols[st.base+slotPower], b.cols[st.base+slotDynamic],
+				b.cols[st.base+slotStatic], b.cols[st.base+slotArea],
+				b.cols[st.base+slotDelay], n)
+			b.aggregate(st, n)
+			sheetBatchSteps.With("kernel").Inc()
+
+		case bModelScalar:
+			mc := bs.mc
+			for j := 0; j < n; j++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				full, populated := b.run.fullMap(st.nodeIdx, mc.size, gen)
+				if !populated {
+					for i := range mc.invEntries {
+						en := &mc.invEntries[i]
+						v := b.invValue(en)
+						if en.check {
+							if err := en.param.Check(v); err != nil {
+								return err
+							}
+						}
+						full[en.name] = v
+					}
+				}
+				for i := range mc.varEntries {
+					en := &mc.varEntries[i]
+					v := b.cols[en.slot][j]
+					if en.check {
+						if err := en.param.Check(v); err != nil {
+							return err
+						}
+					}
+					full[en.name] = v
+				}
+				if !populated {
+					b.run.fullGen[st.nodeIdx] = gen
+				}
+				est, err := mc.m.Evaluate(full)
+				if err != nil {
+					return err
+				}
+				b.cols[st.base+slotPower][j] = float64(est.Power())
+				b.cols[st.base+slotDynamic][j] = float64(est.DynamicPower())
+				b.cols[st.base+slotStatic][j] = float64(est.StaticPower())
+				b.cols[st.base+slotArea][j] = float64(est.Area)
+				b.cols[st.base+slotDelay][j] = float64(est.Delay)
+			}
+			b.aggregate(st, n)
+			sheetBatchSteps.With("model_scalar").Inc()
+		}
+	}
+	base := p.nodeBase[p.rootIdx]
+	copy(pw[:n], b.cols[base+slotPower][:n])
+	copy(area[:n], b.cols[base+slotArea][:n])
+	copy(delay[:n], b.cols[base+slotDelay][:n])
+	return nil
+}

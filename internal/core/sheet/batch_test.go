@@ -1,0 +1,239 @@
+package sheet
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"powerplay/internal/core/model"
+	"powerplay/internal/units"
+)
+
+// sweepableCell is a test model with a closed sweep form, mirroring how
+// the library models implement model.SweepFormer: Evaluate and
+// SweepForm compute the same expressions, so the kernel path must be
+// bit-identical to the scalar one.
+type sweepableCell struct {
+	model.Func
+	capPerBit float64
+}
+
+func (c *sweepableCell) SweepForm(p model.Params) (*model.SweepForm, bool) {
+	return &model.SweepForm{
+		Dyn:    []model.SweepTerm{{Csw: p["act"] * p["bits"] * c.capPerBit, FMul: 1}},
+		Area:   p["bits"] * 1e-9,
+		Delay0: p["bits"] * 1e-9,
+	}, true
+}
+
+// newSweepableCell builds a "kcell" instance whose Evaluate and
+// SweepForm share one capacitance coefficient.
+func newSweepableCell(title string, capPerBit float64) *sweepableCell {
+	c := &sweepableCell{capPerBit: capPerBit}
+	c.Func = model.Func{
+		Meta: model.Info{
+			Name: "kcell", Title: title, Class: model.Computation, Doc: "d",
+			Params: model.WithStd(
+				model.Param{Name: "bits", Default: 8, Min: 1, Max: 1024, Integer: true},
+				model.Param{Name: "act", Default: 1, Min: 0, Max: 2},
+			),
+		},
+		Fn: func(p model.Params) (*model.Estimate, error) {
+			bits := p["bits"]
+			e := &model.Estimate{VDD: p.VDD()}
+			e.AddCap("c", units.Farads(p["act"]*bits*capPerBit), p.Freq())
+			e.Area = units.SquareMeters(bits * 1e-9)
+			e.Delay = units.Seconds(bits * 1e-9 * model.DelayScale(float64(p.VDD())))
+			return e, nil
+		},
+	}
+	return c
+}
+
+// batchTestRegistry extends the plan-test registry with "kcell", a
+// model the batch executor can kernelize.
+func batchTestRegistry() *model.Registry {
+	r := testRegistry()
+	r.MustRegister(newSweepableCell("kernel cell", 100e-15))
+	return r
+}
+
+// batchTestDesign is a sheet that routes the columnar executor through
+// every step kind at once: a batchable variant global (bExpr), a
+// conditional parameter (bExprScalar feeding bModelScalar), kernel rows
+// with swept and divided clocks (bKernel), a model without a sweep form
+// (bModelScalar), a chain-composed subtree with a shadowed supply
+// (bAgg), and a converter priced off power() slot reads.
+func batchTestDesign(t *testing.T) *Design {
+	t.Helper()
+	d := NewDesign("batch", batchTestRegistry())
+	d.Root.SetGlobalValue("vdd", 1.5, "1.5")
+	d.Root.SetGlobalValue("f", 2e6, "2MHz")
+	if err := d.Root.SetGlobal("fdiv", "f/16"); err != nil {
+		t.Fatal(err)
+	}
+	k := d.Root.MustAddChild("kern", "kcell")
+	if err := k.SetParam("bits", "16"); err != nil {
+		t.Fatal(err)
+	}
+	kd := d.Root.MustAddChild("kerndiv", "kcell")
+	if err := kd.SetParam("f", "fdiv"); err != nil {
+		t.Fatal(err)
+	}
+	cond := d.Root.MustAddChild("cond", "kcell")
+	// A variant non-operating-point parameter: the kernel gate must
+	// refuse this row and price it per point.
+	if err := cond.SetParam("act", "vdd > 1 ? 0.5 : 1.5"); err != nil {
+		t.Fatal(err)
+	}
+	plain := d.Root.MustAddChild("plain", "cell")
+	if err := plain.SetParam("bits", "24"); err != nil {
+		t.Fatal(err)
+	}
+	sub := d.Root.MustAddChild("sub", "")
+	sub.Delay = ComposeChain
+	sub.SetGlobalValue("vdd", 1.2, "1.2")
+	b := sub.MustAddChild("beta", "kcell")
+	if err := b.SetParam("bits", "8"); err != nil {
+		t.Fatal(err)
+	}
+	conv := d.Root.MustAddChild("conv", "loss")
+	if err := conv.SetParam("pload", `power("sub") + power("kern")`); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// newBatchPair compiles the design for the override names and returns
+// both evaluation contexts over one shared baseline.
+func newBatchPair(t *testing.T, d *Design, names []string, capacity int) (*SweepEval, *BatchEval) {
+	t.Helper()
+	plan, err := d.PlanFor(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := plan.NewSweeper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw.NewEval(), sw.NewBatchEval(capacity)
+}
+
+// checkBatchMatchesEval runs one chunk through the BatchEval and every
+// point through the scalar SweepEval, demanding bit-identical totals.
+func checkBatchMatchesEval(t *testing.T, ev *SweepEval, bev *BatchEval, points []map[string]float64) {
+	t.Helper()
+	n := len(points)
+	pw, area, delay := make([]float64, n), make([]float64, n), make([]float64, n)
+	if err := bev.Run(context.Background(), points, pw, area, delay); err != nil {
+		t.Fatalf("batch run: %v", err)
+	}
+	for i, ov := range points {
+		wp, wa, wd, err := ev.At(ov)
+		if err != nil {
+			t.Fatalf("scalar at %v: %v", ov, err)
+		}
+		if math.Float64bits(pw[i]) != math.Float64bits(wp) ||
+			math.Float64bits(area[i]) != math.Float64bits(wa) ||
+			math.Float64bits(delay[i]) != math.Float64bits(wd) {
+			t.Errorf("point %d %v: batch %v/%v/%v, scalar %v/%v/%v",
+				i, ov, pw[i], area[i], delay[i], wp, wa, wd)
+		}
+	}
+}
+
+func TestBatchEvalMatchesSweepEval(t *testing.T) {
+	d := batchTestDesign(t)
+	ev, bev := newBatchPair(t, d, []string{"vdd"}, 64)
+	var pts []map[string]float64
+	// 0.6 and 0.7 sit at or below the delay-scale threshold voltage:
+	// the +Inf delay positions must survive the columnar path too.
+	for i := 0; i < 64; i++ {
+		pts = append(pts, map[string]float64{"vdd": 0.6 + float64(i)*(3.3-0.6)/63})
+	}
+	checkBatchMatchesEval(t, ev, bev, pts)
+	// A second, smaller chunk through the same contexts: per-chunk
+	// state (DelayScale memos, override columns) must reset cleanly.
+	checkBatchMatchesEval(t, ev, bev, pts[:7])
+}
+
+func TestBatchEvalFrequencySweep(t *testing.T) {
+	d := batchTestDesign(t)
+	// Constant vdd: the kernels take the precomputed DelayScale column.
+	ev, bev := newBatchPair(t, d, []string{"f"}, 32)
+	var pts []map[string]float64
+	for i := 0; i < 32; i++ {
+		pts = append(pts, map[string]float64{"f": 1e6 * float64(1+i)})
+	}
+	checkBatchMatchesEval(t, ev, bev, pts)
+}
+
+func TestBatchEvalTwoVariableSweep(t *testing.T) {
+	d := batchTestDesign(t)
+	ev, bev := newBatchPair(t, d, []string{"f", "vdd"}, 64)
+	var pts []map[string]float64
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			pts = append(pts, map[string]float64{
+				"vdd": 0.9 + 0.3*float64(i), "f": 1e6 * float64(1+j),
+			})
+		}
+	}
+	checkBatchMatchesEval(t, ev, bev, pts)
+}
+
+func TestBatchEvalErrors(t *testing.T) {
+	d := batchTestDesign(t)
+	_, bev := newBatchPair(t, d, []string{"vdd"}, 8)
+	pw, area, delay := make([]float64, 8), make([]float64, 8), make([]float64, 8)
+	ctx := context.Background()
+
+	// Oversized chunk.
+	big := make([]map[string]float64, 9)
+	for i := range big {
+		big[i] = map[string]float64{"vdd": 1.5}
+	}
+	if err := bev.Run(ctx, big, make([]float64, 9), make([]float64, 9), make([]float64, 9)); err == nil ||
+		!strings.Contains(err.Error(), "capacity") {
+		t.Fatalf("oversized chunk: got %v", err)
+	}
+
+	// A point missing the override the plan was compiled for.
+	if err := bev.Run(ctx, []map[string]float64{{"f": 1e6}}, pw, area, delay); err == nil ||
+		!strings.Contains(err.Error(), "missing override") {
+		t.Fatalf("missing override: got %v", err)
+	}
+
+	// A failing point anywhere in the chunk fails the whole run: vdd=11
+	// violates the std schema range (max 10 V), caught by the kernel
+	// path's per-column validation.
+	bad := []map[string]float64{{"vdd": 1.5}, {"vdd": 11}, {"vdd": 2}}
+	if err := bev.Run(ctx, bad[:3], pw, area, delay); err == nil {
+		t.Fatal("out-of-range vdd slipped through the columnar path")
+	}
+
+	// Cancellation surfaces as an error, not a partial chunk.
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := bev.Run(canceled, []map[string]float64{{"vdd": 1.5}}, pw, area, delay); err == nil {
+		t.Fatal("canceled context not honored")
+	}
+
+	// Errors must not poison later runs: a clean chunk still works and
+	// still matches the scalar path.
+	ev, _ := newBatchPair(t, d, []string{"vdd"}, 8)
+	checkBatchMatchesEval(t, ev, bev, []map[string]float64{{"vdd": 1.1}, {"vdd": 2.2}})
+}
+
+func TestBatchEvalModelRegeneration(t *testing.T) {
+	d := batchTestDesign(t)
+	ev, bev := newBatchPair(t, d, []string{"vdd"}, 4)
+	pts := []map[string]float64{{"vdd": 1.0}, {"vdd": 2.0}}
+	checkBatchMatchesEval(t, ev, bev, pts)
+	// Swap the kernel model for one with doubled capacitance: the next
+	// Run must rebuild against the new registry generation, exactly as
+	// the scalar path does.
+	d.Registry.MustRegister(newSweepableCell("kernel cell v2", 200e-15))
+	checkBatchMatchesEval(t, ev, bev, pts)
+}

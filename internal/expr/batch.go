@@ -1,0 +1,252 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the columnar half of the compiled evaluation
+// pipeline: running one Program over a whole vector of points at once.
+// Where Run interprets the instruction list once per point, RunBatch
+// interprets it once per *chunk* — each stack cell becomes a []float64
+// column, each operator a tight loop over the chunk — so the dispatch
+// overhead of the interpreter is paid per column instead of per point.
+//
+// Correctness contract (the batch side of the scalar-oracle story):
+//
+//   - RunBatch is only defined for Batchable programs: straight-line
+//     code with no jumps.  Such a program executes exactly the same
+//     instruction sequence for every point, so evaluating it column-
+//     major performs, for each point, the same floating-point
+//     operations in the same order as Run — a successful RunBatch
+//     yields bit-identical results, NaNs and infinities included.
+//   - RunBatch returns an error if and only if Run would fail on at
+//     least one point of the vector.  The error itself, however, is
+//     whichever failure the column order happened to reach first — NOT
+//     necessarily the lowest-indexed point's error.  Callers that need
+//     the canonical error (text and position) must re-run the chunk
+//     point-by-point through the scalar path; the sheet and explore
+//     layers do exactly that, so a batch error is never user-visible.
+
+// Batchable reports whether the program can run columnar: straight-line
+// code only.  Programs with control flow (&&, ||, ?:) take per-point
+// branches, which a column pass cannot replicate without changing which
+// operations execute; they stay on the scalar interpreter.
+func (p *Program) Batchable() bool {
+	for i := range p.code {
+		switch p.code[i].op {
+		case opAndShort, opOrShort, opJmp, opJmpFalse:
+			return false
+		}
+	}
+	return true
+}
+
+// BatchScratch is reusable per-goroutine columnar evaluation state: the
+// column stack plus call-argument buffers.  A zero BatchScratch is
+// ready to use; after the first RunBatch it holds grown buffers, making
+// subsequent runs allocation-free.  It must not be shared between
+// concurrent RunBatch calls.
+type BatchScratch struct {
+	stack [][]float64
+	width int
+	vals  []Value
+	args  []float64
+}
+
+// ensure sizes the column stack to depth columns of at least width
+// points each.
+func (s *BatchScratch) ensure(depth, width int) {
+	if s.width < width {
+		s.stack = nil
+		s.width = width
+	}
+	for len(s.stack) < depth {
+		s.stack = append(s.stack, make([]float64, s.width))
+	}
+}
+
+// RunBatch evaluates a Batchable program for points 0..n-1 at once:
+// cols[slot][i] supplies slot reads for point i, and the program's
+// value for point i is written to dst[i].  dst may alias a column in
+// cols that the program does not read.  See the contract above: on
+// success every dst[i] is bit-identical to Run on the same point; on
+// error the caller must fall back to per-point Run calls to learn the
+// canonical failure.  RunBatch panics if the program is not Batchable.
+func (p *Program) RunBatch(cols [][]float64, dst []float64, n int, s *BatchScratch) error {
+	if s == nil {
+		s = &BatchScratch{}
+	}
+	s.ensure(p.maxStack, n)
+	stack := s.stack
+	sp := 0
+	code := p.code
+	for ip := 0; ip < len(code); ip++ {
+		in := &code[ip]
+		switch in.op {
+		case opConst:
+			col := stack[sp][:n]
+			for i := range col {
+				col[i] = in.val
+			}
+			sp++
+		case opSlot:
+			copy(stack[sp][:n], cols[in.a][:n])
+			sp++
+		case opNeg:
+			col := stack[sp-1][:n]
+			for i := range col {
+				col[i] = -col[i]
+			}
+		case opNot:
+			col := stack[sp-1][:n]
+			for i := range col {
+				if col[i] == 0 {
+					col[i] = 1
+				} else {
+					col[i] = 0
+				}
+			}
+		case opBool:
+			col := stack[sp-1][:n]
+			for i := range col {
+				if col[i] != 0 {
+					col[i] = 1
+				} else {
+					col[i] = 0
+				}
+			}
+		case opAdd:
+			sp--
+			a, b := stack[sp-1][:n], stack[sp][:n]
+			for i := range a {
+				a[i] = a[i] + b[i]
+			}
+		case opSub:
+			sp--
+			a, b := stack[sp-1][:n], stack[sp][:n]
+			for i := range a {
+				a[i] = a[i] - b[i]
+			}
+		case opMul:
+			sp--
+			a, b := stack[sp-1][:n], stack[sp][:n]
+			for i := range a {
+				a[i] = a[i] * b[i]
+			}
+		case opDiv:
+			sp--
+			a, b := stack[sp-1][:n], stack[sp][:n]
+			for i := range a {
+				if b[i] == 0 {
+					return p.errs[in.a]
+				}
+				a[i] = a[i] / b[i]
+			}
+		case opMod:
+			sp--
+			a, b := stack[sp-1][:n], stack[sp][:n]
+			for i := range a {
+				if b[i] == 0 {
+					return p.errs[in.a]
+				}
+				a[i] = math.Mod(a[i], b[i])
+			}
+		case opPow:
+			sp--
+			a, b := stack[sp-1][:n], stack[sp][:n]
+			for i := range a {
+				a[i] = math.Pow(a[i], b[i])
+			}
+		case opEq:
+			sp--
+			a, b := stack[sp-1][:n], stack[sp][:n]
+			for i := range a {
+				a[i] = b2f(a[i] == b[i])
+			}
+		case opNe:
+			sp--
+			a, b := stack[sp-1][:n], stack[sp][:n]
+			for i := range a {
+				a[i] = b2f(a[i] != b[i])
+			}
+		case opLt:
+			sp--
+			a, b := stack[sp-1][:n], stack[sp][:n]
+			for i := range a {
+				a[i] = b2f(a[i] < b[i])
+			}
+		case opLe:
+			sp--
+			a, b := stack[sp-1][:n], stack[sp][:n]
+			for i := range a {
+				a[i] = b2f(a[i] <= b[i])
+			}
+		case opGt:
+			sp--
+			a, b := stack[sp-1][:n], stack[sp][:n]
+			for i := range a {
+				a[i] = b2f(a[i] > b[i])
+			}
+		case opGe:
+			sp--
+			a, b := stack[sp-1][:n], stack[sp][:n]
+			for i := range a {
+				a[i] = b2f(a[i] >= b[i])
+			}
+		case opCallB:
+			// Builtins take a per-point argument slice; gather each
+			// point's arguments across the top argc columns.  The
+			// result overwrites the first argument column, writing
+			// index i only after reading it.
+			site := &p.sites[in.b]
+			argc := int(in.a)
+			if cap(s.args) < argc {
+				s.args = make([]float64, argc)
+			}
+			args := s.args[:argc]
+			res := stack[sp-argc][:n]
+			for i := 0; i < n; i++ {
+				for k := 0; k < argc; k++ {
+					args[k] = stack[sp-argc+k][i]
+				}
+				v, err := site.bfn(args)
+				if err != nil {
+					return &EvalError{Expr: p.src, Msg: fmt.Sprintf("%s: %v", site.name, err)}
+				}
+				res[i] = v
+			}
+			sp -= argc
+			sp++
+		case opCallH:
+			site := &p.sites[in.b]
+			argc := int(in.a)
+			res := stack[sp-argc][:n]
+			for i := 0; i < n; i++ {
+				vals := append(s.vals[:0], site.tmpl...)
+				s.vals = vals[:0]
+				k := 0
+				for j := range vals {
+					if !vals[j].IsStr {
+						vals[j].Num = stack[sp-argc+k][i]
+						k++
+					}
+				}
+				v, err := site.hfn(vals)
+				if err != nil {
+					return &EvalError{Expr: p.src, Msg: fmt.Sprintf("%s: %v", site.name, err)}
+				}
+				res[i] = v
+			}
+			sp -= argc
+			sp++
+		case opErr:
+			return p.errs[in.a]
+		default:
+			// A jump in a program RunBatch was promised not to see.
+			panic(fmt.Sprintf("expr: RunBatch on non-batchable program %q", p.src))
+		}
+	}
+	copy(dst[:n], stack[sp-1][:n])
+	return nil
+}

@@ -1,0 +1,92 @@
+// Columnar sweep forms for the memory models: each kernel rebuilds,
+// from the fixed organization, exactly the capacitance / swing /
+// frequency / area / delay expressions its Evaluate computes, so the
+// sheet's batch executor prices whole columns of operating points with
+// results bit-identical to the scalar path (see model.SweepFormer for
+// the contract).
+package storage
+
+import (
+	"math"
+
+	"powerplay/internal/core/model"
+)
+
+// SweepForm implements model.SweepFormer.  The activity factor rides on
+// the frequency (Evaluate folds it into the Contribution's Freq), the
+// organization-dependent capacitances and the leakage current are fixed
+// by words×bits, and the swing mode picks between the EQ 7 rail-to-rail
+// split and the EQ 8 partial-swing term.
+func (s *SRAM) SweepForm(p model.Params) (*model.SweepForm, bool) {
+	words, bits := p["words"], p["bits"]
+	scale := model.CapScale(p[model.ParamTech])
+	act := p["act"]
+	full, bitline := s.split(words, bits)
+	fullC := float64(full) * scale
+	bitC := float64(bitline) * scale
+	sf := &model.SweepForm{}
+	switch p["swing"] {
+	case RailToRail:
+		sf.Dyn = []model.SweepTerm{
+			{Csw: fullC, FMul: act},
+			{Csw: bitC, FMul: act},
+		}
+	case ReducedSwing:
+		sf.Dyn = []model.SweepTerm{
+			{Csw: fullC, FMul: act},
+			{Csw: bitC, Swing: p["vswing"], FMul: act},
+		}
+	default:
+		return nil, false
+	}
+	if s.LeakPerCell > 0 {
+		sf.Static = []float64{words * bits * float64(s.LeakPerCell)}
+	}
+	sf.Area = (words*bits*float64(s.CellArea) + float64(s.PeripheryArea)) * scale * scale
+	sf.Delay0 = float64(s.Delay0) * (1 + 0.1*math.Log2(math.Max(words, 2)))
+	return sf, true
+}
+
+// SweepForm implements model.SweepFormer.
+func (r *RegisterFile) SweepForm(p model.Params) (*model.SweepForm, bool) {
+	words, bits, act := p["words"], p["bits"], p["act"]
+	scale := model.CapScale(p[model.ParamTech])
+	return &model.SweepForm{
+		Dyn: []model.SweepTerm{
+			{Csw: act * bits * float64(r.CapPerBit) * scale, FMul: 1},
+			{Csw: words * bits * float64(r.CapPerCell) * scale, FMul: 1},
+		},
+		Area:   words * bits * float64(r.CellArea) * scale * scale,
+		Delay0: float64(r.Delay),
+	}, true
+}
+
+// SweepForm implements model.SweepFormer.  The refresh term switches at
+// an absolute frequency set by the organization and the refresh period,
+// not by the swept clock, so it rides in FConst; a non-positive refresh
+// period is an Evaluate-time error, which the scalar fallback reports.
+func (d *DRAM) SweepForm(p model.Params) (*model.SweepForm, bool) {
+	if d.RefreshPeriod <= 0 {
+		return nil, false
+	}
+	words, bits := p["words"], p["bits"]
+	scale := model.CapScale(p[model.ParamTech])
+	ct := float64(d.C0) + words*float64(d.CWord) + bits*float64(d.CBit) + words*bits*float64(d.CWordBit)
+	rowCap := bits * float64(d.CWordBit) * scale
+	refreshFreq := words / float64(d.RefreshPeriod)
+	return &model.SweepForm{
+		Dyn: []model.SweepTerm{
+			{Csw: ct * scale * p["act"], FMul: 1},
+			{Csw: rowCap, FConst: refreshFreq},
+		},
+		Area:   words * bits * float64(d.CellArea) * scale * scale,
+		Delay0: float64(d.Delay0) * (1 + 0.1*math.Log2(math.Max(words, 2))),
+	}, true
+}
+
+// check interface satisfaction at compile time.
+var (
+	_ model.SweepFormer = (*SRAM)(nil)
+	_ model.SweepFormer = (*RegisterFile)(nil)
+	_ model.SweepFormer = (*DRAM)(nil)
+)

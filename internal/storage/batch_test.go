@@ -1,0 +1,112 @@
+package storage
+
+import (
+	"math"
+	"testing"
+
+	"powerplay/internal/core/model"
+	"powerplay/internal/units"
+)
+
+// checkSweepFormMatchesEvaluate is the kernel oracle: the closed form
+// evaluated columnar must reproduce Evaluate bit for bit across a grid
+// of operating points.
+func checkSweepFormMatchesEvaluate(t *testing.T, m model.Model, base model.Params) {
+	t.Helper()
+	full, err := model.Validate(m.Info().Params, base)
+	if err != nil {
+		t.Fatalf("%s: validate: %v", m.Info().Name, err)
+	}
+	sf, ok := m.(model.SweepFormer).SweepForm(full)
+	if !ok {
+		t.Fatalf("%s: no sweep form at %v", m.Info().Name, base)
+	}
+	var vdd, f []float64
+	for _, v := range []float64{0.6, 0.8, 1.5, 2.5, 3.3, 5} {
+		for _, fr := range []float64{0, 1e6, 2e6, 66e6, 1e9} {
+			vdd = append(vdd, v)
+			f = append(f, fr)
+		}
+	}
+	n := len(vdd)
+	ds := make([]float64, n)
+	model.DelayScaleCols(ds, vdd, n)
+	pw, dyn, stat := make([]float64, n), make([]float64, n), make([]float64, n)
+	area, delay := make([]float64, n), make([]float64, n)
+	sf.EvalCols(vdd, f, ds, pw, dyn, stat, area, delay, n)
+	for i := 0; i < n; i++ {
+		full[model.ParamVDD] = vdd[i]
+		full[model.ParamFreq] = f[i]
+		est, err := m.Evaluate(full)
+		if err != nil {
+			t.Fatalf("%s @ vdd=%g f=%g: %v", m.Info().Name, vdd[i], f[i], err)
+		}
+		check := func(what string, got, want float64) {
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("%s @ vdd=%g f=%g: %s = %v (%#x), Evaluate says %v (%#x)",
+					m.Info().Name, vdd[i], f[i], what,
+					got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+		}
+		check("power", pw[i], float64(est.Power()))
+		check("dynamic", dyn[i], float64(est.DynamicPower()))
+		check("static", stat[i], float64(est.StaticPower()))
+		check("area", area[i], float64(est.Area))
+		check("delay", delay[i], float64(est.Delay))
+	}
+}
+
+func TestStorageSweepFormsMatchEvaluate(t *testing.T) {
+	sram := &SRAM{
+		Name: "t.sram", C0: 1.2 * units.PicoFarad,
+		CWord: 3 * units.FemtoFarad, CBit: 5 * units.FemtoFarad,
+		CWordBit: 0.08 * units.FemtoFarad, LeakPerCell: 20e-12,
+		CellArea: 140 * units.SquareMicron, PeripheryArea: 1e5 * units.SquareMicron,
+		Delay0: 8e-9,
+	}
+	noleak := &SRAM{
+		Name: "t.sram0", C0: 1.2 * units.PicoFarad,
+		CWordBit: 0.08 * units.FemtoFarad, CellArea: 140 * units.SquareMicron,
+		Delay0: 8e-9,
+	}
+	rf := &RegisterFile{
+		Name: "t.rf", CapPerBit: 60 * units.FemtoFarad,
+		CapPerCell: 2 * units.FemtoFarad, CellArea: 700 * units.SquareMicron,
+		Delay: 3e-9,
+	}
+	dram := &DRAM{
+		Name: "t.dram", C0: 5 * units.PicoFarad,
+		CWord: 1 * units.FemtoFarad, CBit: 9 * units.FemtoFarad,
+		CWordBit: 0.03 * units.FemtoFarad, CellArea: 4 * units.SquareMicron,
+		Delay0: 60e-9, RefreshPeriod: 16e-3,
+	}
+	cases := []struct {
+		m    model.Model
+		base model.Params
+	}{
+		{sram, model.Params{"words": 1024, "bits": 16, "swing": RailToRail}},
+		{sram, model.Params{"words": 1024, "bits": 16, "swing": ReducedSwing, "vswing": 0.3}},
+		{sram, model.Params{"words": 1, "bits": 1, "act": 0.5, "tech": 0.6e-6}},
+		{noleak, model.Params{"words": 256, "bits": 8}},
+		{rf, model.Params{"words": 16, "bits": 32, "act": 0.25}},
+		{rf, model.Params{"words": 8, "bits": 8, "tech": 1.2e-6}},
+		{dram, model.Params{"words": 1 << 16, "bits": 16, "act": 0.8}},
+	}
+	for _, c := range cases {
+		checkSweepFormMatchesEvaluate(t, c.m, c.base)
+	}
+}
+
+// TestDRAMSweepFormRefusesBadRefresh pins the fallback contract: a DRAM
+// whose Evaluate would fail (non-positive refresh period) must refuse a
+// sweep form so the scalar path reports the canonical error.
+func TestDRAMSweepFormRefusesBadRefresh(t *testing.T) {
+	d := &DRAM{Name: "t.dram"}
+	full, err := model.Validate(d.Info().Params, model.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.SweepForm(full); ok {
+		t.Fatal("DRAM with RefreshPeriod <= 0 offered a sweep form")
+	}
+}

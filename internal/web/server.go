@@ -54,6 +54,12 @@ type Config struct {
 	// negative selects the 30 s default.  Sites mounting slow remote
 	// models may need more; batch test rigs may want much less.
 	SweepTimeout time.Duration
+	// SweepChunk sets the exploration engine's chunk size — how many
+	// consecutive sweep points a worker prices per columnar batch.
+	// Zero selects the engine's default (explore.DefaultChunkSize);
+	// 1 disables columnar evaluation, pricing every point through the
+	// scalar path (a debugging aid, never a production setting).
+	SweepChunk int
 	// RequestTimeout is the deadline given to every request's context;
 	// zero selects a 2 min default (above any sweep budget), negative
 	// disables the deadline.

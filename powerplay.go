@@ -219,7 +219,8 @@ type (
 	// ExplorePoint is one evaluated point of a sweep.
 	ExplorePoint = explore.Point
 	// ExploreRunner is the parallel exploration engine: a worker pool
-	// that fans sweep points out over per-worker design snapshots.
+	// that fans sweep points out over per-worker design snapshots in
+	// chunks, evaluating each chunk columnar when the sheet allows.
 	// See explore.Runner for the full concurrency contract.
 	ExploreRunner = explore.Runner
 	// ExploreCache memoizes evaluated points by override vector; see
@@ -235,6 +236,10 @@ type (
 	// TimingRow is one row of a timing report.
 	TimingRow = sheet.TimingRow
 )
+
+// DefaultChunkSize is the sweep chunk size a zero
+// ExploreRunner.ChunkSize selects: the unit of columnar evaluation.
+const DefaultChunkSize = explore.DefaultChunkSize
 
 // NewExploreCache returns an evaluation cache for exploration runs;
 // limit <= 0 selects the default size.  A cache is valid for a single
