@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench benchserve bench-batch metrics-smoke faultsim repro examples libdoc clean
+.PHONY: all build test vet race bench benchserve bench-batch bench-incremental metrics-smoke faultsim repro examples libdoc clean
 
 all: build vet test
 
@@ -31,6 +31,13 @@ benchserve:
 # longer faster (see EXPERIMENTS.md).
 bench-batch:
 	POWERPLAY_BENCH_BATCH=1 $(GO) test -run 'TestBatchThroughputSmoke' -v .
+
+# The X22 incremental-Play regression gate: a one-binding edit on the
+# InfoPad sheet must re-evaluate at most 20% of the plan's slots and
+# beat a full (recompiling) Play by at least 5x, bit-identically (see
+# EXPERIMENTS.md).
+bench-incremental:
+	POWERPLAY_BENCH_INCREMENTAL=1 $(GO) test -run 'TestIncrementalPlaySmoke' -v .
 
 # The observability smoke: drive real traffic through an in-process
 # site and assert the /metrics contract — every instrument family

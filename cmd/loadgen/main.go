@@ -35,20 +35,25 @@ import (
 )
 
 type phaseReport struct {
-	Name     string      `json:"name"`
-	Clients  int         `json:"clients"`
-	Requests int         `json:"requests"`
-	WallMs   float64     `json:"wall_ms"`
-	RPS      float64     `json:"requests_per_second"`
-	P50Us    float64     `json:"p50_us"`
-	P99Us    float64     `json:"p99_us"`
-	Status   map[int]int `json:"status_counts"`
+	Name       string      `json:"name"`
+	Clients    int         `json:"clients"`
+	Requests   int         `json:"requests"`
+	Gomaxprocs int         `json:"gomaxprocs"`
+	WallMs     float64     `json:"wall_ms"`
+	RPS        float64     `json:"requests_per_second"`
+	P50Us      float64     `json:"p50_us"`
+	P99Us      float64     `json:"p99_us"`
+	Status     map[int]int `json:"status_counts"`
 	// Server-side numbers, folded in from a /metrics scrape around the
 	// phase: what the instrumentation itself says happened, as opposed
 	// to the client-observed latencies above.
 	CacheHitRatio float64 `json:"cache_hit_ratio"`
 	ServerP50Us   float64 `json:"server_p50_us"`
 	ServerP99Us   float64 `json:"server_p99_us"`
+	// Incremental-engine numbers (edit-play phases): average dirty-cone
+	// size per Play and engine runs by mode, from the same scrape delta.
+	AvgDirtySlots float64            `json:"avg_dirty_slots,omitempty"`
+	PlaysByMode   map[string]float64 `json:"plays_by_mode,omitempty"`
 }
 
 type report struct {
@@ -56,6 +61,7 @@ type report struct {
 	Clients       int           `json:"clients"`
 	PerClient     int           `json:"requests_per_client"`
 	GOMAXPROCS    int           `json:"gomaxprocs"`
+	NumCPU        int           `json:"num_cpu"`
 	GoVersion     string        `json:"go_version"`
 	Phases        []phaseReport `json:"phases"`
 	SpeedupGet    float64       `json:"speedup_cached_get"`
@@ -78,6 +84,7 @@ func main() {
 		Clients:    *clients,
 		PerClient:  *perClient,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		GoVersion:  runtime.Version(),
 	}
 	run := func(name string, s site, kind trafficKind) phaseReport {
@@ -87,16 +94,31 @@ func main() {
 		before := scrapeMetrics(s.ts.URL)
 		p := runPhase(name, s, *clients, *perClient, kind)
 		after := scrapeMetrics(s.ts.URL)
-		foldMetrics(&p, before, after)
+		foldMetrics(&p, kind, before, after)
 		rep.Phases = append(rep.Phases, p)
 		fmt.Printf("%-22s %8.0f req/s   p50 %7.0f µs   p99 %7.0f µs   hit %4.0f%%   %v\n",
 			p.Name, p.RPS, p.P50Us, p.P99Us, 100*p.CacheHitRatio, p.Status)
+		return p
+	}
+	// runAt pins GOMAXPROCS for one phase; the report records the
+	// setting each phase actually ran under.
+	runAt := func(name string, s site, kind trafficKind, procs int) phaseReport {
+		old := runtime.GOMAXPROCS(procs)
+		p := run(name, s, kind)
+		runtime.GOMAXPROCS(old)
 		return p
 	}
 	base := run("uncached-get", baseline, plainGET)
 	hot := run("cached-get", cached, plainGET)
 	reval := run("cached-conditional-get", cached, conditionalGET)
 	run("cached-mixed-play", cached, mixedPlay)
+	// Edit-Play: every request rebinds one supply and hits Play — the
+	// interactive loop the incremental engine serves — pinned to one
+	// core and run at full width, so the report states both honestly.
+	runAt("edit-play-1cpu", cached, editPlay, 1)
+	if runtime.NumCPU() > 1 {
+		runAt("edit-play", cached, editPlay, runtime.NumCPU())
+	}
 
 	rep.SpeedupGet = hot.RPS / base.RPS
 	rep.SpeedupRevali = reval.RPS / base.RPS
@@ -144,6 +166,7 @@ const (
 	plainGET trafficKind = iota
 	conditionalGET
 	mixedPlay // one Play per 16 requests, the rest plain GETs
+	editPlay  // every request rebinds one binding and Plays
 )
 
 // runPhase drives the site with nClients concurrent logged-in clients
@@ -167,7 +190,17 @@ func runPhase(name string, s site, nClients, perClient int, kind trafficKind) ph
 				var resp *http.Response
 				var err error
 				t0 := time.Now()
-				if kind == mixedPlay && n%16 == 15 {
+				if kind == editPlay {
+					// Alternate the vdd3 supply rail (LCDs and the DC-DC
+					// converter hang off it) so every Play re-prices a real
+					// dirty cone rather than hitting the no-edit fast path.
+					v := "5"
+					if n%2 == 1 {
+						v = "5.1"
+					}
+					resp, err = c.PostForm(s.sheetURL+"/play",
+						url.Values{"glob_vdd3": {v}})
+				} else if kind == mixedPlay && n%16 == 15 {
 					resp, err = c.PostForm(s.sheetURL+"/play",
 						url.Values{"glob_fclk": {"20MHz"}})
 				} else {
@@ -215,14 +248,15 @@ func runPhase(name string, s site, nClients, perClient int, kind trafficKind) ph
 	}
 	total := nClients * perClient
 	return phaseReport{
-		Name:     name,
-		Clients:  nClients,
-		Requests: total,
-		WallMs:   float64(wall.Milliseconds()),
-		RPS:      float64(total) / wall.Seconds(),
-		P50Us:    pct(0.50),
-		P99Us:    pct(0.99),
-		Status:   status,
+		Name:       name,
+		Clients:    nClients,
+		Requests:   total,
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+		WallMs:     float64(wall.Milliseconds()),
+		RPS:        float64(total) / wall.Seconds(),
+		P50Us:      pct(0.50),
+		P99Us:      pct(0.99),
+		Status:     status,
 	}
 }
 
@@ -258,14 +292,20 @@ func scrapeMetrics(base string) map[string]float64 {
 	return out
 }
 
-// sheetRouteLabel is the instrumented route pattern of the sheet GET —
-// the series the server-side latency quantiles are computed from.
-const sheetRouteLabel = `route="GET /design/{name}"`
+// Instrumented route patterns the server-side latency quantiles are
+// computed from: the sheet GET for read phases, the Play POST for the
+// edit-play recompute phases.
+const (
+	sheetRouteLabel = `route="GET /design/{name}"`
+	playRouteLabel  = `route="POST /design/{name}/play"`
+)
 
 // foldMetrics computes the phase's server-side numbers from the
 // before/after scrape delta: pagecache hit ratio (evaluation memo plus
-// rendered page) and latency quantiles of the sheet route's histogram.
-func foldMetrics(p *phaseReport, before, after map[string]float64) {
+// rendered page), latency quantiles of the phase's route histogram,
+// and — for edit-play phases — the incremental engine's dirty-cone
+// size and runs by mode.
+func foldMetrics(p *phaseReport, kind trafficKind, before, after map[string]float64) {
 	delta := func(key string) float64 { return after[key] - before[key] }
 	hits := delta(`powerplay_pagecache_events_total{event="result_hit"}`) +
 		delta(`powerplay_pagecache_events_total{event="page_hit"}`)
@@ -274,15 +314,30 @@ func foldMetrics(p *phaseReport, before, after map[string]float64) {
 	if hits+misses > 0 {
 		p.CacheHitRatio = hits / (hits + misses)
 	}
-	p.ServerP50Us = histQuantileUs(before, after, 0.50)
-	p.ServerP99Us = histQuantileUs(before, after, 0.99)
+	route := sheetRouteLabel
+	if kind == editPlay {
+		route = playRouteLabel
+	}
+	p.ServerP50Us = histQuantileUs(before, after, route, 0.50)
+	p.ServerP99Us = histQuantileUs(before, after, route, 0.99)
+	if kind == editPlay || kind == mixedPlay {
+		if n := delta("powerplay_sheet_dirty_slots_count"); n > 0 {
+			p.AvgDirtySlots = delta("powerplay_sheet_dirty_slots_sum") / n
+		}
+		p.PlaysByMode = make(map[string]float64)
+		for _, mode := range []string{"incremental", "full", "fallback"} {
+			if n := delta(`powerplay_sheet_incremental_plays_total{mode="` + mode + `"}`); n > 0 {
+				p.PlaysByMode[mode] = n
+			}
+		}
+	}
 }
 
-// histQuantileUs estimates a latency quantile (in µs) from the sheet
-// route's cumulative bucket deltas, interpolating linearly inside the
-// winning bucket the way Prometheus's histogram_quantile does.
-func histQuantileUs(before, after map[string]float64, q float64) float64 {
-	prefix := "powerplay_http_request_seconds_bucket{" + sheetRouteLabel + `,le="`
+// histQuantileUs estimates a latency quantile (in µs) from one route's
+// cumulative bucket deltas, interpolating linearly inside the winning
+// bucket the way Prometheus's histogram_quantile does.
+func histQuantileUs(before, after map[string]float64, route string, q float64) float64 {
+	prefix := "powerplay_http_request_seconds_bucket{" + route + `,le="`
 	type bucket struct {
 		le  float64
 		cum float64

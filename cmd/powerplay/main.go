@@ -43,6 +43,7 @@ func main() {
 	sweepTimeout := flag.Duration("sweep-timeout", 0, "per-request exploration sweep budget (0 = 30s default)")
 	sweepChunk := flag.Int("sweep-chunk", 0, "sweep points per columnar batch (0 = engine default, 1 = scalar only)")
 	cacheLimit := flag.Int("cache-limit", 0, "entries per read-path cache (0 = 256 default)")
+	incremental := flag.Bool("incremental", true, "recompute only the dirty cone on Play (false = full evaluation every time)")
 	profiling := flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/")
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON (default: human-readable text)")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
@@ -71,6 +72,7 @@ func main() {
 	srv, err := web.NewServer(web.Config{
 		SiteName: *siteName, DataDir: *data, Password: *password,
 		SweepTimeout: *sweepTimeout, SweepChunk: *sweepChunk, CacheEntries: *cacheLimit,
+		DisableIncremental: !*incremental,
 	}, reg)
 	if err != nil {
 		fatal("server setup failed", "err", err)

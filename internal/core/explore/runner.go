@@ -331,7 +331,11 @@ func hoist(d *sheet.Design, overrides []map[string]float64) *sheet.Sweeper {
 	if err != nil {
 		return nil
 	}
-	sw, err := plan.NewSweeper()
+	// Sweeps over an unchanged design share one hoisted baseline
+	// (memoized on the plan, keyed to the registry generation), so
+	// repeated sweeps warm-start from the invariant cone instead of
+	// re-executing it per run.
+	sw, err := plan.SharedSweeper()
 	if err != nil {
 		return nil
 	}

@@ -222,6 +222,26 @@ type Model interface {
 	Evaluate(p Params) (*Estimate, error)
 }
 
+// Volatile is an optional interface a Model may implement to declare
+// that Evaluate can answer differently for identical parameters over
+// time — a remote proxy whose publishing site may change or recover,
+// for example.  Machinery that reuses past evaluations across calls
+// (the incremental Play engine, hoisted sweep baselines) must re-run
+// rows whose model reports Volatile() true; everything else may assume
+// a model is a pure function of its parameters for as long as the
+// registry generation holds still.
+type Volatile interface {
+	// Volatile reports whether identical parameter points may evaluate
+	// to different estimates over time.
+	Volatile() bool
+}
+
+// IsVolatile reports whether m declares itself volatile.
+func IsVolatile(m Model) bool {
+	v, ok := m.(Volatile)
+	return ok && v.Volatile()
+}
+
 // Params is a parameter valuation.
 type Params map[string]float64
 

@@ -113,27 +113,52 @@ func (s *Schema) Validate(in Params) (Params, error) {
 // (the compiled sheet plan) that re-validate against one schema per
 // evaluation.  The caller must not let the model being evaluated
 // retain out beyond the call.
+// Validation order is deterministic regardless of map iteration order:
+// schema parameters are checked in declaration order, so when several
+// bound values are invalid at once, the error is always the first
+// offender by schema position.  Unknown names are reported in sorted
+// order.  The interpreter, compiled, batch, and incremental paths all
+// funnel through here, so this ordering is what makes their error text
+// reproducible and mutually bit-identical.
 func (s *Schema) ValidateInto(in, out Params) (Params, error) {
 	clear(out)
-	for name, v := range in {
-		p, ok := s.known[name]
+	known := 0
+	for _, p := range s.params {
+		v, ok := in[p.Name]
 		if !ok {
-			switch name {
-			case ParamVDD, ParamFreq, ParamTech:
-				out[name] = v
-				continue
-			}
-			return nil, fmt.Errorf("unknown parameter %q", name)
+			out[p.Name] = p.Default
+			continue
 		}
+		known++
 		if err := p.Check(v); err != nil {
 			return nil, err
 		}
-		out[name] = v
+		out[p.Name] = v
 	}
-	for _, p := range s.params {
-		if _, ok := out[p.Name]; !ok {
-			out[p.Name] = p.Default
+	for _, name := range [...]string{ParamVDD, ParamFreq, ParamTech} {
+		if _, inSchema := s.known[name]; inSchema {
+			continue
 		}
+		if v, ok := in[name]; ok {
+			known++
+			out[name] = v
+		}
+	}
+	if known != len(in) {
+		unknown := ""
+		for name := range in {
+			if _, ok := s.known[name]; ok {
+				continue
+			}
+			switch name {
+			case ParamVDD, ParamFreq, ParamTech:
+				continue
+			}
+			if unknown == "" || name < unknown {
+				unknown = name
+			}
+		}
+		return nil, fmt.Errorf("unknown parameter %q", unknown)
 	}
 	return out, nil
 }

@@ -1,0 +1,436 @@
+package sheet
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"powerplay/internal/core/model"
+	"powerplay/internal/units"
+)
+
+// countingRegistry is testRegistry with an evaluation counter per row
+// model, so tests can assert exactly which rows an incremental Play
+// re-priced.
+func countingRegistry(counts map[string]*atomic.Int64) *model.Registry {
+	r := model.NewRegistry()
+	r.MustRegister(&model.Func{
+		Meta: model.Info{
+			Name: "cell", Title: "test cell", Class: model.Computation, Doc: "d",
+			Params: model.WithStd(
+				model.Param{Name: "bits", Default: 8, Min: 1, Max: 1024, Integer: true},
+				model.Param{Name: "act", Default: 1, Min: 0, Max: 2},
+			),
+		},
+		Fn: func(p model.Params) (*model.Estimate, error) {
+			if c := counts["cell"]; c != nil {
+				c.Add(1)
+			}
+			e := &model.Estimate{VDD: p.VDD()}
+			e.AddCap("c", units.Farads(p["act"]*p["bits"]*100e-15), p.Freq())
+			e.Area = units.SquareMeters(p["bits"] * 1e-9)
+			e.Delay = units.Seconds(p["bits"] * 1e-9)
+			return e, nil
+		},
+	})
+	return r
+}
+
+// incTestDesign builds a three-row sheet where each row's parameters
+// feed from a distinct global, so single edits have small, known dirty
+// cones: alpha reads wa, beta reads wb, gamma reads wc.
+func incTestDesign(t *testing.T, counts map[string]*atomic.Int64) *Design {
+	t.Helper()
+	d := NewDesign("inc", countingRegistry(counts))
+	d.Root.SetGlobalValue("vdd", 1.5, "1.5")
+	d.Root.SetGlobalValue("f", 2e6, "2MHz")
+	d.Root.SetGlobalValue("wa", 16, "16")
+	d.Root.SetGlobalValue("wb", 8, "8")
+	d.Root.SetGlobalValue("wc", 4, "4")
+	for _, row := range []struct{ name, param string }{
+		{"alpha", "wa"}, {"beta", "wb"}, {"gamma", "wc"},
+	} {
+		n := d.Root.MustAddChild(row.name, "cell")
+		if err := n.SetParam("bits", row.param); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+// playBothWays runs the incremental engine and the interpreter and
+// demands bit-identical results (or identical error text): the
+// engine-level statement of the repo-wide correctness contract.
+func playBothWays(t *testing.T, d *Design) (*Result, PlayDelta) {
+	t.Helper()
+	r, delta, err := d.IncrementalEngine().Play()
+	ri, errI := d.EvaluateInterpreted(nil)
+	if (err == nil) != (errI == nil) {
+		t.Fatalf("paths disagree on failure: incremental err=%v, interpreted err=%v", err, errI)
+	}
+	if err != nil {
+		if err.Error() != errI.Error() {
+			t.Fatalf("error text differs:\nincremental: %v\ninterpreted: %v", err, errI)
+		}
+		return nil, delta
+	}
+	sameResult(t, "", r, ri)
+	return r, delta
+}
+
+func TestIncrementalDirtyCone(t *testing.T) {
+	counts := map[string]*atomic.Int64{"cell": {}}
+	d := incTestDesign(t, counts)
+	e := d.IncrementalEngine()
+	_, delta, err := e.Play()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta.Full {
+		t.Fatalf("first Play should be full, got %+v", delta)
+	}
+	if got := counts["cell"].Load(); got != 3 {
+		t.Fatalf("first Play evaluated %d rows, want 3", got)
+	}
+
+	// Editing wa reaches only alpha (and the root aggregate).
+	d.Root.SetGlobalValue("wa", 32, "32")
+	r, delta, err := e.Play()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Full {
+		t.Fatalf("one-cell edit forced a full recompute: %+v", delta)
+	}
+	if got := counts["cell"].Load(); got != 4 {
+		t.Fatalf("edit re-evaluated %d extra rows, want exactly 1 (alpha)", got-3)
+	}
+	if delta.DirtySteps >= delta.TotalSteps || delta.DirtySlots >= delta.TotalSlots {
+		t.Errorf("dirty cone is not a strict subset: %+v", delta)
+	}
+	want := []string{"alpha", ""}
+	if len(delta.ChangedRows) != len(want) {
+		t.Fatalf("ChangedRows = %q, want %q", delta.ChangedRows, want)
+	}
+	for i := range want {
+		if delta.ChangedRows[i] != want[i] {
+			t.Fatalf("ChangedRows = %q, want %q", delta.ChangedRows, want)
+		}
+	}
+	// The incremental result is bit-identical to a fresh evaluation.
+	ri, errI := d.EvaluateInterpreted(nil)
+	if errI != nil {
+		t.Fatal(errI)
+	}
+	sameResult(t, "", r, ri)
+}
+
+func TestIncrementalZeroEditPlay(t *testing.T) {
+	counts := map[string]*atomic.Int64{"cell": {}}
+	d := incTestDesign(t, counts)
+	e := d.IncrementalEngine()
+	r1, _, err := e.Play()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := counts["cell"].Load()
+	// Play's "recompute now" bump must not cost anything when every
+	// model is a pure function and nothing changed.
+	d.Touch()
+	r2, delta, err := e.Play()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Full || delta.DirtySteps != 0 {
+		t.Fatalf("editless Play dirtied steps: %+v", delta)
+	}
+	if r2 != r1 {
+		t.Error("editless Play did not serve the retained result")
+	}
+	if got := counts["cell"].Load(); got != base {
+		t.Errorf("editless Play re-evaluated models (%d -> %d)", base, got)
+	}
+}
+
+func TestIncrementalStructuralEditGoesFull(t *testing.T) {
+	d := incTestDesign(t, nil)
+	playBothWays(t, d)
+	n := d.Root.MustAddChild("delta_row", "cell")
+	if err := n.SetParam("bits", "wa"); err != nil {
+		t.Fatal(err)
+	}
+	_, delta := playBothWays(t, d)
+	if !delta.Full {
+		t.Fatalf("structural edit should force a full recompute, got %+v", delta)
+	}
+	// And removal too.
+	d.Root.RemoveChild("delta_row")
+	if _, delta = playBothWays(t, d); !delta.Full {
+		t.Fatalf("row removal should force a full recompute, got %+v", delta)
+	}
+}
+
+func TestIncrementalErrorFallbackCanonicalText(t *testing.T) {
+	d := incTestDesign(t, nil)
+	playBothWays(t, d)
+	// bits above the schema max: the run fails, and the engine must
+	// reproduce the interpreter's canonical message.
+	d.Root.SetGlobalValue("wa", 5000, "5000")
+	if _, delta := playBothWays(t, d); !delta.Full {
+		t.Fatalf("error fallback should report Full, got %+v", delta)
+	}
+	// Recovery after the error: state was dropped, next Play is full
+	// and correct.
+	d.Root.SetGlobalValue("wa", 16, "16")
+	if _, delta := playBothWays(t, d); !delta.Full {
+		t.Fatalf("post-error Play should be full, got %+v", delta)
+	}
+	// ...and incrementality resumes after that.
+	d.Root.SetGlobalValue("wa", 24, "24")
+	if _, delta := playBothWays(t, d); delta.Full {
+		t.Fatalf("incrementality did not resume after error recovery: %+v", delta)
+	}
+}
+
+// volatileCell wraps a counting model under its own name and declares
+// it volatile, like a mounted remote proxy.
+type volatileCell struct {
+	model.Model
+	evals atomic.Int64
+}
+
+func (v *volatileCell) Info() model.Info {
+	info := v.Model.Info()
+	info.Name = "remote.cell"
+	return info
+}
+func (v *volatileCell) Volatile() bool { return true }
+func (v *volatileCell) Evaluate(p model.Params) (*model.Estimate, error) {
+	v.evals.Add(1)
+	return v.Model.Evaluate(p)
+}
+
+func TestIncrementalVolatileModelAlwaysReplays(t *testing.T) {
+	d := incTestDesign(t, nil)
+	inner, _ := d.Registry.Lookup("cell")
+	vc := &volatileCell{Model: inner}
+	d.Registry.MustRegister(vc)
+	n := d.Root.MustAddChild("rem", "remote.cell")
+	if err := n.SetParam("bits", "2"); err != nil {
+		t.Fatal(err)
+	}
+	e := d.IncrementalEngine()
+	if _, _, err := e.Play(); err != nil {
+		t.Fatal(err)
+	}
+	base := vc.evals.Load()
+	d.Touch()
+	_, delta, err := e.Play()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vc.evals.Load(); got != base+1 {
+		t.Errorf("volatile row evaluated %d times on editless Play, want 1", got-base)
+	}
+	if delta.Full || delta.DirtySteps == 0 {
+		t.Errorf("volatile row should dirty an incremental Play: %+v", delta)
+	}
+	found := false
+	for _, p := range delta.ChangedRows {
+		if p == "rem" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ChangedRows %q misses the volatile row", delta.ChangedRows)
+	}
+}
+
+func TestIncrementalRegistryEditDirtiesAllRows(t *testing.T) {
+	counts := map[string]*atomic.Int64{"cell": {}}
+	d := incTestDesign(t, counts)
+	e := d.IncrementalEngine()
+	if _, _, err := e.Play(); err != nil {
+		t.Fatal(err)
+	}
+	base := counts["cell"].Load()
+	// Re-registering any model bumps the registry generation: every
+	// model row must re-price (the edit may have changed any of them).
+	reg := countingRegistry(counts)
+	m, _ := reg.Lookup("cell")
+	d.Registry.MustRegister(m)
+	_, delta, err := e.Play()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counts["cell"].Load(); got != base+3 {
+		t.Errorf("registry edit re-evaluated %d rows, want 3", got-base)
+	}
+	if delta.Full {
+		t.Errorf("registry edit should stay incremental (plan unchanged): %+v", delta)
+	}
+}
+
+// TestWavefrontParity pins the parallel executor against the serial
+// one: same slots, same results, across worker counts, on the richest
+// test design (derived globals, shadowing, chain compose, inter-row
+// power()).
+func TestWavefrontParity(t *testing.T) {
+	d := planTestDesign(t)
+	plan, err := d.PlanFor(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := plan.WavefrontWidth(); w < 2 {
+		t.Fatalf("test design too narrow to exercise parallelism (width %d)", w)
+	}
+	serial := plan.newRun()
+	if err := plan.execLevels(nil, serial, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		run := plan.newRun()
+		if err := plan.execLevels(nil, run, workers, true); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range serial.slots {
+			if run.slots[i] != serial.slots[i] {
+				t.Fatalf("workers=%d: slot %d = %v, serial %v", workers, i, run.slots[i], serial.slots[i])
+			}
+		}
+		sameResult(t, "", plan.buildResult(run, plan.rootIdx), plan.buildResult(serial, plan.rootIdx))
+	}
+}
+
+// TestWavefrontLevelsRespectDependencies checks the schedule invariant
+// the parallel executor relies on: every step's reads resolve at a
+// strictly shallower level than its own.
+func TestWavefrontLevelsRespectDependencies(t *testing.T) {
+	d := planTestDesign(t)
+	plan, err := d.PlanFor(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.levels()
+	writerLevel := make([]int, plan.slotCount)
+	for i, st := range plan.steps {
+		lv := plan.stepLevel[i]
+		st.forEachRead(func(s int) {
+			if writerLevel[s] >= lv {
+				t.Fatalf("step %d (level %d) reads slot %d written at level %d", i, lv, s, writerLevel[s])
+			}
+		})
+		st.forEachWrite(func(s int) { writerLevel[s] = lv })
+	}
+}
+
+func TestSharedSweeperMemo(t *testing.T) {
+	d := planTestDesign(t)
+	plan, err := d.PlanFor([]string{"vdd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := plan.SharedSweeper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := plan.SharedSweeper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("repeated sweeps did not share the hoisted baseline")
+	}
+	// A registry edit retires the memo.
+	m, _ := d.Registry.Lookup("cell")
+	d.Registry.MustRegister(m)
+	s3, err := plan.SharedSweeper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 == s1 {
+		t.Error("registry edit did not retire the shared baseline")
+	}
+	// Shared and fresh baselines price points identically.
+	e1, e2 := s3.NewEval(), mustSweeper(t, plan).NewEval()
+	for _, v := range []float64{0.9, 1.5, 3.3} {
+		p1, a1, d1, err1 := e1.At(map[string]float64{"vdd": v})
+		p2, a2, d2, err2 := e2.At(map[string]float64{"vdd": v})
+		if err1 != nil || err2 != nil {
+			t.Fatalf("vdd=%v: %v / %v", v, err1, err2)
+		}
+		if p1 != p2 || a1 != a2 || d1 != d2 {
+			t.Errorf("vdd=%v: shared %v/%v/%v vs fresh %v/%v/%v", v, p1, a1, d1, p2, a2, d2)
+		}
+	}
+}
+
+func mustSweeper(t *testing.T, p *Plan) *Sweeper {
+	t.Helper()
+	sw, err := p.NewSweeper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+func TestSharedSweeperVolatileNeverMemoizes(t *testing.T) {
+	d := incTestDesign(t, nil)
+	inner, _ := d.Registry.Lookup("cell")
+	vc := &volatileCell{Model: inner}
+	d.Registry.MustRegister(vc)
+	n := d.Root.MustAddChild("rem", vc.Info().Name)
+	if err := n.SetParam("bits", "2"); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := d.PlanFor([]string{"vdd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := plan.SharedSweeper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := plan.SharedSweeper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 {
+		t.Error("volatile design shared a hoisted baseline across sweeps")
+	}
+}
+
+// TestIncrementalParamEditOnRow covers the other edit surface: cell
+// edits on a row parameter (not a global), the row_path|param form of
+// the web Play.
+func TestIncrementalParamEditOnRow(t *testing.T) {
+	counts := map[string]*atomic.Int64{"cell": {}}
+	d := incTestDesign(t, counts)
+	e := d.IncrementalEngine()
+	if _, _, err := e.Play(); err != nil {
+		t.Fatal(err)
+	}
+	base := counts["cell"].Load()
+	if err := d.Root.Child("beta").SetParam("bits", "wb*2"); err != nil {
+		t.Fatal(err)
+	}
+	r, delta, err := e.Play()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Full {
+		t.Fatalf("param cell edit forced a full recompute: %+v", delta)
+	}
+	if got := counts["cell"].Load(); got != base+1 {
+		t.Errorf("param edit re-evaluated %d rows, want 1", got-base)
+	}
+	joined := strings.Join(delta.ChangedRows, ",")
+	if !strings.Contains(joined, "beta") {
+		t.Errorf("ChangedRows %q misses beta", delta.ChangedRows)
+	}
+	ri, errI := d.EvaluateInterpreted(nil)
+	if errI != nil {
+		t.Fatal(errI)
+	}
+	sameResult(t, "", r, ri)
+}

@@ -96,6 +96,23 @@ func (m *Macro) Evaluate(p model.Params) (*model.Estimate, error) {
 	return est, nil
 }
 
+// Volatile implements model.Volatile: a macro is only as pure as the
+// models its inner design prices through, so it reports volatile when
+// any reachable inner row resolves to a volatile model (a mounted
+// remote library, or a nested macro over one).
+func (m *Macro) Volatile() bool {
+	volatile := false
+	m.design.Root.Walk(func(n *Node) {
+		if volatile || n.Model == "" {
+			return
+		}
+		if inner, ok := m.design.Registry.Lookup(n.Model); ok && model.IsVolatile(inner) {
+			volatile = true
+		}
+	})
+	return volatile
+}
+
 func countRows(n *Node) int {
 	count := 0
 	n.Walk(func(*Node) { count++ })

@@ -189,6 +189,36 @@ type Plan struct {
 	idxOf         map[*Node]int
 	rootIdx       int
 	pool          sync.Pool // *planRun
+
+	// Patch metadata (see patch.go): where every compiled binding
+	// landed and what the tree looked like at compile time, so a
+	// binding-only edit can be patched into a retained plan without a
+	// whole-sheet recompile.
+	cells       []planCell
+	globalSlot  map[globalKey]int // slot of every reachable global
+	nodeStep    []int             // per node index: index of its stepNode
+	globalNames [][]string        // per node index: global names at compile
+	nodePaths   []string          // per node index: path at compile (stable under patching)
+	writers     []int             // per slot: writing step index; lazy, engine-mu guarded
+
+	// Volatile model-step cache, keyed by registry generation (lazy,
+	// engine-mu guarded like writers; patching carries it over since
+	// stepNode steps are shared).
+	volSteps []int
+	volGen   uint64
+	volOK    bool
+
+	// Wavefront schedule (see levels): computed lazily, once, from the
+	// same slot dependencies markVariance walks.
+	levelOnce sync.Once
+	stepLevel []int   // per step: 1-based dependency depth
+	byLevel   [][]int // step indices grouped by level, schedule-ordered
+	maxWidth  int     // widest level: the plan's available parallelism
+
+	// swMemo caches the hoisted invariant baseline per registry
+	// generation, so repeated sweeps over one plan skip re-executing
+	// the invariant steps (see SharedSweeper).
+	swMemo atomic.Pointer[sweeperMemo]
 }
 
 // planStep is one unit of scheduled work: either "run a compiled
@@ -199,6 +229,11 @@ type planStep struct {
 	// stepExpr
 	prog *expr.Program
 	dst  int
+	// exprID is the identity of the source expression the program was
+	// compiled from.  Expressions are immutable and rebinding a cell
+	// swaps the pointer, so comparing IDs across two congruent plans
+	// detects exactly the edited cells (see incremental.go).
+	exprID uint64
 
 	// stepNode
 	node       *Node
@@ -407,8 +442,16 @@ func (p *Plan) ExecTotals(overrides map[string]float64) (power, area, delay floa
 // construction; otherwise reusable scratch maps are used and nothing
 // escapes the run.
 func (p *Plan) execStep(st *planStep, slots []float64, run *planRun, keep bool) error {
+	return p.execStepScratch(st, slots, run, &run.scratch, keep)
+}
+
+// execStepScratch is execStep with the expression scratch passed
+// explicitly, so wavefront workers sharing one run can each bring
+// their own (everything else a step writes — its slots, its node's
+// ests/params/fulls entries — is private to that step).
+func (p *Plan) execStepScratch(st *planStep, slots []float64, run *planRun, scratch *expr.Scratch, keep bool) error {
 	if st.kind == stepExpr {
-		v, err := st.prog.Run(slots, &run.scratch)
+		v, err := st.prog.Run(slots, scratch)
 		if err != nil {
 			return err
 		}
@@ -527,6 +570,50 @@ func (p *Plan) buildResult(run *planRun, idx int) *Result {
 	return r
 }
 
+// buildResultAt builds one node's Result, taking the children's
+// Results from a per-node table the caller keeps current.  Result
+// trees are never mutated after construction (each exec allocates
+// fresh estimates and parameter maps), so the incremental engine
+// shares clean subtrees across Plays and rebuilds only dirty rows.
+func (p *Plan) buildResultAt(run *planRun, idx int, results []*Result) *Result {
+	n := p.nodes[idx]
+	base := p.nodeBase[idx]
+	s := run.slots
+	r := &Result{
+		Node:         n,
+		Power:        units.Watts(s[base+slotPower]),
+		DynamicPower: units.Watts(s[base+slotDynamic]),
+		StaticPower:  units.Watts(s[base+slotStatic]),
+		Area:         units.SquareMeters(s[base+slotArea]),
+		Delay:        units.Seconds(s[base+slotDelay]),
+	}
+	if n.Model != "" {
+		est := run.ests[idx]
+		r.Estimate = est
+		r.Params = run.params[idx]
+		r.EnergyPerOp = est.EnergyPerOp()
+	}
+	if len(n.Children) > 0 {
+		r.Children = make([]*Result, len(n.Children))
+		for i, c := range n.Children {
+			r.Children[i] = results[p.idxOf[c]]
+		}
+	}
+	return r
+}
+
+// buildResults builds the whole Result forest in schedule order
+// (children before parents) and returns the per-node table.
+func (p *Plan) buildResults(run *planRun) []*Result {
+	results := make([]*Result, len(p.nodes))
+	for _, st := range p.steps {
+		if st.kind == stepNode {
+			results[st.nodeIdx] = p.buildResultAt(run, st.nodeIdx, results)
+		}
+	}
+	return results
+}
+
 // Sweeper snapshots the sweep-invariant portion of a plan: every step
 // that cannot depend on the override slots is executed once, and the
 // resulting slot vector becomes the baseline each per-point evaluation
@@ -589,6 +676,141 @@ func (e *SweepEval) At(ov map[string]float64) (power, area, delay float64, err e
 	}
 	base := p.nodeBase[p.rootIdx]
 	return slots[base+slotPower], slots[base+slotArea], slots[base+slotDelay], nil
+}
+
+// SharedSweeper returns a hoisted invariant baseline that repeated
+// sweeps over this plan share, rebuilding it only when the model
+// registry's generation moves (a re-registered model may change any
+// row's numbers; binding edits already invalidate the whole plan via
+// the content fingerprint, so they cannot leak in here).  Plans whose
+// rows resolve to volatile models never share: their "invariant" steps
+// are not actually invariant across calls, so each sweep hoists fresh,
+// exactly as NewSweeper would.  A memoized error is shared too — a
+// failing invariant binding fails every sweep identically until an
+// edit rebuilds the plan.
+func (p *Plan) SharedSweeper() (*Sweeper, error) {
+	if p.hasVolatileModel() {
+		return p.NewSweeper()
+	}
+	gen := p.design.Registry.Generation()
+	if m := p.swMemo.Load(); m != nil && m.regGen == gen {
+		return m.sw, m.err
+	}
+	sw, err := p.NewSweeper()
+	p.swMemo.Store(&sweeperMemo{regGen: gen, sw: sw, err: err})
+	return sw, err
+}
+
+// sweeperMemo caches one hoisted baseline (or its error) keyed to the
+// registry generation it was computed under.
+type sweeperMemo struct {
+	regGen uint64
+	sw     *Sweeper
+	err    error
+}
+
+// stepVolatile reports whether a step's row currently resolves to a
+// volatile model (see model.Volatile): such steps must re-run on every
+// Play regardless of dirty tracking, and baselines containing their
+// outputs must not be reused across calls.
+func (p *Plan) stepVolatile(st *planStep) bool {
+	if st.kind != stepNode || st.modelName == "" {
+		return false
+	}
+	m, ok := p.design.Registry.Lookup(st.modelName)
+	return ok && model.IsVolatile(m)
+}
+
+// hasVolatileModel reports whether any row of the plan resolves to a
+// volatile model.
+func (p *Plan) hasVolatileModel() bool {
+	for _, st := range p.steps {
+		if p.stepVolatile(st) {
+			return true
+		}
+	}
+	return false
+}
+
+// forEachRead calls fn for every slot the step reads.  Expression slot
+// sets are conservative (untaken branches count), matching the
+// variance analysis, so dirtiness is never propagated too narrowly.
+func (st *planStep) forEachRead(fn func(slot int)) {
+	if st.kind == stepExpr {
+		for _, s := range st.prog.Slots() {
+			fn(s)
+		}
+		return
+	}
+	for _, s := range st.paramSlots {
+		fn(s)
+	}
+	for _, s := range st.stdSlots {
+		fn(s)
+	}
+	for _, cb := range st.childBases {
+		for o := 0; o < nodeSlots; o++ {
+			fn(cb + o)
+		}
+	}
+}
+
+// forEachWrite calls fn for every slot the step writes.
+func (st *planStep) forEachWrite(fn func(slot int)) {
+	if st.kind == stepExpr {
+		fn(st.dst)
+		return
+	}
+	for o := 0; o < nodeSlots; o++ {
+		fn(st.base + o)
+	}
+}
+
+// levels lazily computes the wavefront schedule: each step's dependency
+// depth is one more than the deepest step writing a slot it reads, so
+// all steps of one level read only slots finalized at shallower levels
+// and write mutually disjoint slots (the compiler allocates every
+// step's destination uniquely).  Steps of one level may therefore run
+// concurrently; schedule order is preserved within a level, so a serial
+// walk of byLevel visits steps in an order compatible with the original
+// topological order.
+func (p *Plan) levels() {
+	p.levelOnce.Do(func() {
+		slotDepth := make([]int, p.slotCount)
+		p.stepLevel = make([]int, len(p.steps))
+		maxLevel := 0
+		for i, st := range p.steps {
+			level := 1
+			st.forEachRead(func(s int) {
+				if slotDepth[s] >= level {
+					level = slotDepth[s] + 1
+				}
+			})
+			st.forEachWrite(func(s int) {
+				slotDepth[s] = level
+			})
+			p.stepLevel[i] = level
+			if level > maxLevel {
+				maxLevel = level
+			}
+		}
+		p.byLevel = make([][]int, maxLevel)
+		for i, lv := range p.stepLevel {
+			p.byLevel[lv-1] = append(p.byLevel[lv-1], i)
+		}
+		for _, bucket := range p.byLevel {
+			if len(bucket) > p.maxWidth {
+				p.maxWidth = len(bucket)
+			}
+		}
+	})
+}
+
+// WavefrontWidth returns the size of the plan's widest dependency
+// level: the parallelism a multi-core full recompute can exploit.
+func (p *Plan) WavefrontWidth() int {
+	p.levels()
+	return p.maxWidth
 }
 
 // ---------------------------------------------------------------------
@@ -668,6 +890,24 @@ func compilePlan(d *Design, names []string) (*Plan, error) {
 	p.rootIdx = pc.nodes[d.Root].idx
 	p.slotCount = pc.slots
 	pc.markVariance()
+	p.nodeStep = make([]int, len(p.nodes))
+	for i, st := range p.steps {
+		if st.kind == stepNode {
+			p.nodeStep[st.nodeIdx] = i
+		}
+	}
+	p.globalNames = make([][]string, len(p.nodes))
+	p.nodePaths = make([]string, len(p.nodes))
+	for i, n := range p.nodes {
+		for _, g := range n.Globals {
+			p.globalNames[i] = append(p.globalNames[i], g.Name)
+		}
+		p.nodePaths[i] = n.Path()
+	}
+	p.globalSlot = make(map[globalKey]int, len(pc.globals))
+	for k, gi := range pc.globals {
+		p.globalSlot[k] = gi.slot
+	}
 	return p, nil
 }
 
@@ -739,7 +979,8 @@ func (pc *planCompiler) visitGlobal(gi *globalInfo) error {
 	if err := pc.visitDeps(deps); err != nil {
 		return err
 	}
-	pc.plan.steps = append(pc.plan.steps, &planStep{kind: stepExpr, prog: prog, dst: gi.slot})
+	pc.plan.steps = append(pc.plan.steps, &planStep{kind: stepExpr, prog: prog, dst: gi.slot, exprID: gi.e.ID()})
+	pc.plan.cells = append(pc.plan.cells, planCell{owner: gi.owner, name: gi.name, stepIdx: len(pc.plan.steps) - 1})
 	gi.state = visitDone
 	return nil
 }
@@ -770,7 +1011,8 @@ func (pc *planCompiler) visitNode(n *Node) error {
 				return err
 			}
 			slot := pc.alloc(1)
-			pc.plan.steps = append(pc.plan.steps, &planStep{kind: stepExpr, prog: prog, dst: slot})
+			pc.plan.steps = append(pc.plan.steps, &planStep{kind: stepExpr, prog: prog, dst: slot, exprID: b.Expr.ID()})
+			pc.plan.cells = append(pc.plan.cells, planCell{owner: n, name: b.Name, param: true, stepIdx: len(pc.plan.steps) - 1})
 			st.paramNames = append(st.paramNames, b.Name)
 			st.paramSlots = append(st.paramSlots, slot)
 		}

@@ -116,6 +116,9 @@ type Design struct {
 
 	// id lazily holds the design's process-unique identity (see ID).
 	id atomic.Uint64
+
+	// inc lazily holds the incremental Play engine (see incremental.go).
+	inc atomic.Pointer[Incremental]
 }
 
 // Generation returns the design's mutation generation: a cheap

@@ -4,6 +4,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
 	"strings"
@@ -68,6 +69,14 @@ func TestMetricsSmoke(t *testing.T) {
 	if code, _ := fetch(t, c, base+"/design/d/sweep?var=vdd&from=1&to=3&steps=5"); code != 200 {
 		t.Fatalf("sweep GET: %d", code)
 	}
+	// Two edit-Plays so the incremental engine records a dirty-cone run
+	// on top of full runs: the first introduces the global (a structural
+	// change, full recompute), the second rebinds it (incremental).
+	post(t, c, base+"/design/d/play", url.Values{"glob_vdd": {"1.8"}})
+	post(t, c, base+"/design/d/play", url.Values{"glob_vdd": {"2.1"}})
+	if code, _ := fetch(t, c, base+"/design/d"); code != 200 {
+		t.Fatal("post-Play GET failed")
+	}
 	evalBody := `{"model":"` + "sram" + `","params":{}}`
 	doAPI(t, "POST", base+"/api/v1/eval", evalBody, nil) // error path is fine
 	doAPI(t, "GET", base+"/api/v1/models", "", nil)
@@ -89,6 +98,9 @@ func TestMetricsSmoke(t *testing.T) {
 		"powerplay_explore_cancellations_total":       "counter",
 		"powerplay_sheet_plan_compiles_total":         "counter",
 		"powerplay_sheet_plan_fallbacks_total":        "counter",
+		"powerplay_sheet_incremental_plays_total":     "counter",
+		"powerplay_sheet_dirty_slots":                 "histogram",
+		"powerplay_sheet_wavefront_width":             "gauge",
 		"powerplay_expr_program_compiles_total":       "counter",
 		"powerplay_remote_attempts_total":             "counter",
 		"powerplay_remote_retries_total":              "counter",
@@ -116,9 +128,25 @@ func TestMetricsSmoke(t *testing.T) {
 			samples["powerplay_explore_points_total"])
 	}
 
+	// The incremental engine saw both a full run (first miss) and a
+	// dirty-cone run (the second edit-Play), and recorded cone sizes.
+	if samples[`powerplay_sheet_incremental_plays_total{mode="full"}`] < 1 {
+		t.Error("no full incremental-engine run counted")
+	}
+	if samples[`powerplay_sheet_incremental_plays_total{mode="incremental"}`] < 1 {
+		t.Error("no incremental (dirty-cone) run counted")
+	}
+	if samples["powerplay_sheet_dirty_slots_count"] < 2 {
+		t.Error("dirty-slot histogram missing observations")
+	}
+	if samples["powerplay_sheet_wavefront_width"] < 1 {
+		t.Error("wavefront width gauge not set")
+	}
+
 	// Histogram buckets are cumulative (non-decreasing in le order) and
 	// the +Inf bucket equals _count, per series.
 	checkHistogram(t, samples, "powerplay_http_request_seconds")
+	checkHistogram(t, samples, "powerplay_sheet_dirty_slots")
 
 	// Counters are monotonic: more traffic never decreases any counter
 	// sample present in both scrapes.

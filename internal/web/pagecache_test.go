@@ -242,8 +242,12 @@ func TestSheetCacheInvalidationRefresh(t *testing.T) {
 }
 
 // TestSheetEvaluatedOncePerEdit pins the memoization contract itself:
-// N GETs of an unchanged sheet cost one model evaluation; each Play
-// costs exactly one more.
+// N GETs of an unchanged sheet cost one model evaluation; a Play that
+// edits a cell feeding the row costs exactly one more; and an editless
+// Play of a pure (non-volatile) sheet costs no model evaluation at all
+// — the incremental engine proves nothing is dirty and serves the
+// retained result (the Play still retires the cached page and its
+// ETag, which is Play's actual observable contract).
 func TestSheetEvaluatedOncePerEdit(t *testing.T) {
 	s, ts, c := site(t, Config{})
 	var evals atomic.Int64
@@ -255,6 +259,9 @@ func TestSheetEvaluatedOncePerEdit(t *testing.T) {
 		},
 	})
 	d := sheet.NewDesign("d", s.Registry())
+	// The counting row inherits vdd from scope, giving the edit below a
+	// cell whose dirty cone reaches the model.
+	d.Root.SetGlobalValue("vdd", 1.5, "1.5")
 	d.Root.MustAddChild("x", "bench.count")
 	if err := s.InstallDesign("u", d); err != nil {
 		t.Fatal(err)
@@ -269,8 +276,12 @@ func TestSheetEvaluatedOncePerEdit(t *testing.T) {
 		t.Fatalf("5 GETs cost %d evaluations, want 1", got)
 	}
 	post(t, c, ts.URL+"/design/d/play", url.Values{})
+	if got := evals.Load(); got != 1 {
+		t.Fatalf("editless Play of a pure sheet re-evaluated the model (got %d evals, want 1)", got)
+	}
+	post(t, c, ts.URL+"/design/d/play", url.Values{"glob_vdd": {"1.6"}})
 	if got := evals.Load(); got != 2 {
-		t.Fatalf("Play should re-evaluate once (got %d)", got)
+		t.Fatalf("Play with a vdd edit should re-evaluate once (got %d)", got)
 	}
 	for i := 0; i < 3; i++ {
 		fetch(t, c, ts.URL+"/design/d")
@@ -282,6 +293,20 @@ func TestSheetEvaluatedOncePerEdit(t *testing.T) {
 	fetch(t, c, ts.URL+"/design/d/csv")
 	if got := evals.Load(); got != 2 {
 		t.Fatalf("CSV export re-evaluated (%d)", got)
+	}
+	// The delta recorded for the edit-Play names the recomputed row.
+	delta, ok := s.PlayDelta("u", "d")
+	if !ok {
+		t.Fatal("no PlayDelta recorded")
+	}
+	if delta.Full {
+		t.Error("edit-Play recorded a full recompute")
+	}
+	// The edited cell reaches row x and, through its aggregate, the
+	// root (path ""): exactly the cells an SSE push would patch.
+	want := []string{"x", ""}
+	if len(delta.ChangedRows) != len(want) || delta.ChangedRows[0] != want[0] || delta.ChangedRows[1] != want[1] {
+		t.Errorf("ChangedRows = %q, want %q", delta.ChangedRows, want)
 	}
 }
 

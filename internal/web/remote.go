@@ -285,6 +285,13 @@ type proxyModel struct {
 // Info implements model.Model.
 func (p *proxyModel) Info() model.Info { return p.info }
 
+// Volatile implements model.Volatile: a proxy's answers depend on the
+// publishing site's current state (and on whether the breaker is
+// serving stale values), so cached-evaluation machinery — the
+// incremental Play engine, memoized sweep baselines — must always
+// re-evaluate rows priced through a remote.
+func (p *proxyModel) Volatile() bool { return true }
+
 // Evaluate implements model.Model.  When the remote is unreachable (or
 // its breaker is open) and this exact (model, parameter point) has been
 // evaluated before, the last good estimate is served with a visible

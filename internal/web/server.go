@@ -77,6 +77,12 @@ type Config struct {
 	// and re-render: the measured baseline for the serve benchmarks,
 	// never something a production site wants.
 	DisableReadCache bool
+	// DisableIncremental makes every sheet evaluation a from-scratch
+	// full recompute instead of going through the incremental Play
+	// engine (sheet.Incremental) — the pinned fallback behind the
+	// -incremental=false flag.  Results are bit-identical either way;
+	// only the cost model changes.
+	DisableIncremental bool
 }
 
 // User is one identified user's server-side state.

@@ -79,6 +79,13 @@ type (
 	Result = sheet.Result
 	// Macro is a design lumped into a reusable model.
 	Macro = sheet.Macro
+	// Incremental is a design's incremental Play engine: it re-executes
+	// only the dirty cone an edit reaches, bit-identically to a full
+	// evaluation.
+	Incremental = sheet.Incremental
+	// PlayDelta reports what one incremental Play recomputed — the
+	// changed-cell delta set.
+	PlayDelta = sheet.PlayDelta
 )
 
 // Web application types.
