@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench benchserve bench-batch bench-incremental metrics-smoke faultsim repro examples libdoc clean
+.PHONY: all build test vet race bench benchserve bench-batch bench-incremental metrics-smoke faultsim crashsim repro examples libdoc clean
 
 all: build vet test
 
@@ -53,6 +53,13 @@ faultsim:
 	$(GO) test -race -count=3 ./internal/faultnet/
 	$(GO) test -race -count=3 -run 'TestRemote|TestBreaker|TestMount|TestRefresh|TestSheetDegrades|TestSweepClientDisconnect|TestRecoverMiddleware|TestBodyLimit|TestRequestTimeout' ./internal/web/
 	$(GO) test -race -count=3 -run 'TestServeGracefulShutdown' ./cmd/powerplay/
+
+# The crash simulator: build the real binary, kill -9 it repeatedly —
+# mid-write and at quiescence — over one data directory, and assert
+# every reboot recovers a consistent, byte-identical site from the
+# journal (see DESIGN.md "Durability").
+crashsim:
+	POWERPLAY_CRASHSIM=1 $(GO) test -run 'TestCrashSim' -v ./cmd/powerplay/
 
 # Regenerate every figure, table and ablation from the paper.
 repro:

@@ -40,6 +40,7 @@ func main() {
 	password := flag.String("password", "", "site password (empty = open site)")
 	siteName := flag.String("site", "PowerPlay", "site name shown on pages")
 	seed := flag.Bool("seed", false, "preload the paper's example designs for user 'demo'")
+	durability := flag.String("durability", "interval", "journal fsync policy: always, interval or never")
 	sweepTimeout := flag.Duration("sweep-timeout", 0, "per-request exploration sweep budget (0 = 30s default)")
 	sweepChunk := flag.Int("sweep-chunk", 0, "sweep points per columnar batch (0 = engine default, 1 = scalar only)")
 	cacheLimit := flag.Int("cache-limit", 0, "entries per read-path cache (0 = 256 default)")
@@ -56,26 +57,55 @@ func main() {
 		os.Exit(1)
 	}
 
-	reg := library.Standard()
+	// Parse -mount specs up front so bad syntax fails before any state
+	// is touched, and so recovered mounts superseded by a flag are not
+	// re-mounted twice.
+	flagMounts := make(map[string]string, len(mounts)) // prefix -> url
+	var flagOrder []string
 	for _, m := range mounts {
 		url, prefix, ok := strings.Cut(m, "=")
 		if !ok {
 			fatal("-mount wants url=prefix", "got", m)
 		}
-		n, err := web.Mount(reg, &web.Remote{BaseURL: url, Key: *password}, prefix)
+		if _, dup := flagMounts[prefix]; !dup {
+			flagOrder = append(flagOrder, prefix)
+		}
+		flagMounts[prefix] = url
+	}
+
+	reg := library.Standard()
+	srv, err := web.NewServer(web.Config{
+		SiteName: *siteName, DataDir: *data, Password: *password,
+		SweepTimeout: *sweepTimeout, SweepChunk: *sweepChunk, CacheEntries: *cacheLimit,
+		DisableIncremental: !*incremental, Durability: *durability,
+	}, reg)
+	if err != nil {
+		fatal("server setup failed", "err", err)
+	}
+	// Re-mount what the pre-crash site had mounted — best-effort, so an
+	// unreachable publisher degrades the boot instead of blocking it.
+	// A -mount flag for the same prefix supersedes the recovered spec.
+	for _, m := range srv.RecoveredMounts() {
+		if _, superseded := flagMounts[m.Prefix]; superseded {
+			continue
+		}
+		n, err := web.Mount(reg, &web.Remote{BaseURL: m.URL, Key: *password}, m.Prefix)
+		if err != nil {
+			slog.Warn("re-mounting recovered remote library failed; its sheets degrade until it returns",
+				"url", m.URL, "prefix", m.Prefix, "err", err)
+			continue
+		}
+		slog.Info("re-mounted recovered remote library", "models", n, "url", m.URL, "prefix", m.Prefix)
+	}
+	// Fresh flag mounts stay fatal on failure: the operator asked for
+	// them right now, so a typo'd URL must not silently disappear.
+	for _, prefix := range flagOrder {
+		url := flagMounts[prefix]
+		n, err := srv.MountRemote(url, prefix)
 		if err != nil {
 			fatal("mounting remote library failed", "url", url, "err", err)
 		}
 		slog.Info("mounted remote library", "models", n, "url", url, "prefix", prefix)
-	}
-
-	srv, err := web.NewServer(web.Config{
-		SiteName: *siteName, DataDir: *data, Password: *password,
-		SweepTimeout: *sweepTimeout, SweepChunk: *sweepChunk, CacheEntries: *cacheLimit,
-		DisableIncremental: !*incremental,
-	}, reg)
-	if err != nil {
-		fatal("server setup failed", "err", err)
 	}
 	if *seed {
 		if err := seedDesigns(srv); err != nil {
@@ -100,6 +130,13 @@ func main() {
 	defer stop()
 	if err := serve(ctx, ln, handler); err != nil {
 		fatal("serve failed", "err", err)
+	}
+	// Drain the durability layer: final snapshots, journal close.  A
+	// failure here means the snapshots could not be written — the
+	// journals still hold everything and will replay on the next boot,
+	// but the operator must know the shutdown was not clean.
+	if err := srv.Close(); err != nil {
+		fatal("final snapshot on shutdown failed; journals retained for replay on next boot", "err", err)
 	}
 	slog.Info("shut down cleanly", "site", *siteName)
 }

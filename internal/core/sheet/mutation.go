@@ -1,0 +1,120 @@
+package sheet
+
+import "fmt"
+
+// Mutation is one replayable tree edit: the unit the durability layer
+// journals (internal/store) and replays on boot.  Every mutating web
+// handler expresses its edit as a Mutation, applies it through
+// ApplyMutation, and appends the encoded form to the owning user's
+// journal, so the journal is a faithful enumeration of the operations
+// that produced the in-memory tree.
+//
+// A Mutation deliberately carries expression *sources*, not compiled
+// expressions: replay re-compiles through the same path the original
+// request used, so a journal written by one server version replays on
+// any version that parses the same language.
+type Mutation struct {
+	// Op selects the edit.
+	Op MutOp `json:"op"`
+	// Path addresses the node the edit targets ("" is the root; row
+	// paths are slash-separated as in Node.Path).  For MutAddRow and
+	// MutRemoveRow it addresses the *parent*.
+	Path string `json:"path,omitempty"`
+	// Name is the parameter, variable or row name the edit touches.
+	Name string `json:"name,omitempty"`
+	// Model is the library model an added row instantiates.
+	Model string `json:"model,omitempty"`
+	// Expr is the expression source for the set operations.
+	Expr string `json:"expr,omitempty"`
+}
+
+// MutOp enumerates the replayable edits.  The set is closed and
+// append-only: removing or repurposing a value would orphan records in
+// existing journals.
+type MutOp string
+
+// Mutation operations.
+const (
+	// MutSetParam binds a model parameter (Path, Name, Expr).
+	MutSetParam MutOp = "set_param"
+	// MutDeleteParam removes a parameter binding (Path, Name).
+	MutDeleteParam MutOp = "del_param"
+	// MutSetGlobal introduces or rebinds a variable (Path, Name, Expr).
+	MutSetGlobal MutOp = "set_global"
+	// MutDeleteGlobal removes a variable (Path, Name).
+	MutDeleteGlobal MutOp = "del_global"
+	// MutAddRow appends a row (Path = parent, Name, Model).
+	MutAddRow MutOp = "add_row"
+	// MutRemoveRow deletes a row (Path = parent, Name).
+	MutRemoveRow MutOp = "del_row"
+	// MutTouch advances the generation without changing the tree: the
+	// Play button's "recompute now" contract, journaled so replayed
+	// generations match live ones.
+	MutTouch MutOp = "touch"
+)
+
+// ApplyMutation performs one journaled edit on the design.  It is the
+// replay twin of the web layer's form handling: the same Node methods
+// run, so a replayed tree is indistinguishable from the tree the
+// original requests built.  Errors leave the tree untouched (the
+// journal only contains edits that succeeded once, so an error here
+// means the journal and the model library have diverged — the caller
+// counts and continues rather than failing the boot).
+func (d *Design) ApplyMutation(m Mutation) error {
+	if m.Op == MutTouch {
+		d.Touch()
+		return nil
+	}
+	n := d.Root.Find(m.Path)
+	if n == nil {
+		return fmt.Errorf("sheet: mutation %s: no row %q", m.Op, m.Path)
+	}
+	switch m.Op {
+	case MutSetParam:
+		return n.SetParam(m.Name, m.Expr)
+	case MutDeleteParam:
+		n.DeleteParam(m.Name)
+		return nil
+	case MutSetGlobal:
+		return n.SetGlobal(m.Name, m.Expr)
+	case MutDeleteGlobal:
+		n.DeleteGlobal(m.Name)
+		return nil
+	case MutAddRow:
+		_, err := n.AddChild(m.Name, m.Model)
+		return err
+	case MutRemoveRow:
+		if !n.RemoveChild(m.Name) {
+			return fmt.Errorf("sheet: mutation del_row: no row %q under %q", m.Name, m.Path)
+		}
+		return nil
+	}
+	return fmt.Errorf("sheet: unknown mutation op %q", m.Op)
+}
+
+// AdoptGeneration forces the design's mutation generation to gen.
+// Recovery uses it after replaying each journal record, whose Gen field
+// holds the generation the live tree had after the original edit: the
+// replayed design then reports the same generation the pre-crash server
+// did, so generation-keyed validators (ETags, cache keys, sweep caches)
+// match across a restart.  Never call it on a design serving traffic —
+// moving the counter backwards would revalidate stale caches.
+func (d *Design) AdoptGeneration(gen uint64) { d.Root.epoch.Store(gen) }
+
+// AdoptID installs a persisted design identity, and advances the
+// process-wide ID mint past it so no later design can collide.  Like
+// AdoptGeneration it exists for recovery: a restored design keeps the
+// identity its ETags were minted under, so a browser's cached page
+// revalidates across the restart iff nothing changed.
+func (d *Design) AdoptID(id uint64) {
+	if id == 0 {
+		return
+	}
+	d.id.CompareAndSwap(0, id)
+	for {
+		cur := designIDs.Load()
+		if cur >= id || designIDs.CompareAndSwap(cur, id) {
+			return
+		}
+	}
+}

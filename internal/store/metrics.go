@@ -1,0 +1,24 @@
+package store
+
+import "powerplay/internal/obs"
+
+// The durability layer's instrument families (see internal/obs for
+// conventions).  Appends and fsyncs sit on the mutation hot path;
+// snapshots, replay and truncation are rare events whose *occurrence*
+// is the signal.
+var (
+	appendSeconds = obs.NewHistogram("powerplay_store_append_seconds",
+		"Journal append latency (framing + write + any inline fsync).",
+		obs.DefBuckets)
+	fsyncTotal = obs.NewCounter("powerplay_store_fsync_total",
+		"Journal and snapshot fsync barriers issued.")
+	snapshotSeconds = obs.NewHistogram("powerplay_store_snapshot_seconds",
+		"Snapshot serialization + atomic-replace duration.",
+		obs.DefBuckets)
+	replayRecords = obs.NewCounter("powerplay_store_replay_records_total",
+		"Journal records replayed during boot recovery.")
+	truncationsTotal = obs.NewCounter("powerplay_store_truncations_total",
+		"Torn or corrupt journal tails truncated during recovery.")
+	journalLag = obs.NewGauge("powerplay_store_journal_lag_records",
+		"Records appended but not yet covered by a snapshot.")
+)

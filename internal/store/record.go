@@ -1,0 +1,97 @@
+package store
+
+import (
+	"encoding/json"
+
+	"powerplay/internal/core/sheet"
+)
+
+// Kind discriminates journal records.  The set is closed and
+// append-only, like sheet.MutOp: journals outlive binaries.
+type Kind string
+
+// Record kinds.
+const (
+	// KindUserCreate marks first access by a user; it carries no
+	// payload beyond the journal it lives in (which names the user).
+	KindUserCreate Kind = "user_create"
+	// KindDefaults merges per-model parameter defaults (Model, Values).
+	KindDefaults Kind = "defaults"
+	// KindDesignPut installs a full design serialization under Design:
+	// creation, import, and the legacy-format migration all land here.
+	KindDesignPut Kind = "design_put"
+	// KindDesignDelete removes the named design.
+	KindDesignDelete Kind = "design_delete"
+	// KindMutate applies one sheet.Mutation to the named design.
+	KindMutate Kind = "mutate"
+
+	// Site-scope kinds (the "" user's journal).
+
+	// KindModelPut registers one user-defined equation model (Blob is
+	// the library.Equation JSON).
+	KindModelPut Kind = "model_put"
+	// KindMount records a remote library mount (Blob is a MountSpec);
+	// recovery re-mounts best-effort.
+	KindMount Kind = "mount"
+	// KindRefresh records a re-sync of a mounted prefix (Blob is a
+	// MountSpec); replay folds into the mount set.
+	KindRefresh Kind = "refresh"
+)
+
+// Record is one journal entry: the envelope every mutating operation
+// serializes into.  Fields are a union over the kinds; unused ones
+// stay empty and cost nothing on the wire.
+type Record struct {
+	Kind Kind `json:"kind"`
+	// Design names the design a design-scope record targets.
+	Design string `json:"design,omitempty"`
+	// Gen is the sequence number: the design generation after a
+	// design-scope record applied, or the registry generation after a
+	// site-scope one.  Replay skips design records at or below the
+	// restored design's generation, which makes replay idempotent.
+	Gen uint64 `json:"gen,omitempty"`
+	// ID is the design's process identity (KindDesignPut), restored so
+	// ETags survive the restart.
+	ID uint64 `json:"id,omitempty"`
+	// Mut is the tree edit (KindMutate).
+	Mut *sheet.Mutation `json:"mut,omitempty"`
+	// Blob carries a full serialization: design JSON (KindDesignPut),
+	// equation-model JSON (KindModelPut), or a MountSpec.
+	Blob json.RawMessage `json:"blob,omitempty"`
+	// Model and Values carry a defaults merge (KindDefaults).
+	Model  string             `json:"model,omitempty"`
+	Values map[string]float64 `json:"values,omitempty"`
+}
+
+// MountSpec identifies a mounted remote library.  The site key is
+// deliberately not persisted; recovery re-mounts with the running
+// configuration's credentials.
+type MountSpec struct {
+	URL    string `json:"url"`
+	Prefix string `json:"prefix"`
+}
+
+// UserSnapshot is one user's full state: what a snapshot file holds
+// and what recovery starts a user from before replaying the journal
+// suffix.
+type UserSnapshot struct {
+	User     string                        `json:"user"`
+	Defaults map[string]map[string]float64 `json:"defaults,omitempty"`
+	Designs  []DesignSnapshot              `json:"designs,omitempty"`
+}
+
+// DesignSnapshot pins one design serialization to the identity and
+// generation it was taken at: the generations this snapshot covers,
+// in the log-sequence-number sense.
+type DesignSnapshot struct {
+	ID     uint64          `json:"id"`
+	Gen    uint64          `json:"gen"`
+	Design json.RawMessage `json:"design"`
+}
+
+// SiteSnapshot is the site-scope state: user-defined equation models
+// (a library.DumpEquations blob) and the mounted remote libraries.
+type SiteSnapshot struct {
+	Models json.RawMessage `json:"models,omitempty"`
+	Mounts []MountSpec     `json:"mounts,omitempty"`
+}

@@ -1,0 +1,87 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// Snapshots are written atomically: frame the payload (the same
+// length+CRC envelope journal records use), write to a temp file in
+// the same directory, fsync, rename over the previous snapshot, and
+// fsync the directory.  A crash at any point leaves either the old
+// snapshot or the new one — never a half-written file the next boot
+// would have to guess about.  The journal is truncated only after the
+// rename lands, so a crash in the gap replays records the snapshot
+// already covers; the generation check in replay makes that harmless.
+
+// writeSnapshot atomically replaces the snapshot at path with payload.
+func writeSnapshot(path string, payload []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	if _, err := tmp.Write(appendFrame(nil, payload)); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readSnapshot loads and validates the snapshot at path.  A missing
+// file returns (nil, false, nil): boot-from-journal-only.  A corrupt
+// file also returns ok=false — with the error for the log — because a
+// snapshot that fails its CRC must be ignored, not trusted halfway.
+func readSnapshot(path string) (payload []byte, ok bool, err error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	payloads, valid := scanFrames(blob)
+	if len(payloads) != 1 || valid != int64(len(blob)) {
+		return nil, false, fmt.Errorf("store: snapshot %s failed validation (%d intact frames, %d of %d bytes valid)",
+			path, len(payloads), valid, len(blob))
+	}
+	return payloads[0], true, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry
+// is durable.  Some filesystems (network mounts, FUSE) refuse fsync on
+// a directory handle with EINVAL or ENOTSUP; that refusal gets a
+// best-effort pass — the rename itself already ordered against the
+// temp file's data sync — while real I/O errors still surface.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	err = d.Sync()
+	if err == nil || errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) {
+		return nil
+	}
+	return err
+}

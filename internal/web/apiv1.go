@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"powerplay/internal/obs"
+	"powerplay/internal/store"
 )
 
 // errorDetail is the body of the uniform API error envelope.
@@ -96,17 +97,28 @@ type healthRemote struct {
 	Models  int    `json:"models"`
 }
 
+// healthDurability reports the journal store's state: the fsync
+// policy in force, how many records a crash right now would replay
+// (journal lag), and what the last boot's recovery did.
+type healthDurability struct {
+	Policy            string               `json:"policy"`
+	JournalLagRecords int                  `json:"journal_lag_records"`
+	LastRecovery      *store.RecoveryStats `json:"last_recovery,omitempty"`
+}
+
 // healthResponse is the GET /api/v1/healthz body: alive-ness plus the
 // one-glance numbers an operator checks first (uptime, load, cache
-// population, and the state of every mounted publisher's breaker).
+// population, the state of every mounted publisher's breaker, and —
+// on a durable site — the journal store's lag and recovery stats).
 type healthResponse struct {
-	Status            string         `json:"status"`
-	UptimeSeconds     float64        `json:"uptime_seconds"`
-	InflightRequests  int            `json:"inflight_requests"`
-	Models            int            `json:"models"`
-	ReadCacheEntries  int            `json:"read_cache_entries"`
-	SweepCacheEntries int            `json:"sweep_cache_entries"`
-	Remotes           []healthRemote `json:"remotes,omitempty"`
+	Status            string            `json:"status"`
+	UptimeSeconds     float64           `json:"uptime_seconds"`
+	InflightRequests  int               `json:"inflight_requests"`
+	Models            int               `json:"models"`
+	ReadCacheEntries  int               `json:"read_cache_entries"`
+	SweepCacheEntries int               `json:"sweep_cache_entries"`
+	Remotes           []healthRemote    `json:"remotes,omitempty"`
+	Durability        *healthDurability `json:"durability,omitempty"`
 }
 
 // apiHealthz is the liveness endpoint: it answers 200 whenever the
@@ -150,6 +162,13 @@ func (s *Server) apiHealthz(w http.ResponseWriter, r *http.Request) {
 		Models:            len(names),
 		ReadCacheEntries:  readN,
 		SweepCacheEntries: sweepN,
+	}
+	if s.store != nil {
+		resp.Durability = &healthDurability{
+			Policy:            s.store.Policy().String(),
+			JournalLagRecords: s.store.Lag(),
+			LastRecovery:      s.lastRecovery,
+		}
 	}
 	for _, hr := range order {
 		resp.Remotes = append(resp.Remotes, *hr)

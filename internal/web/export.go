@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"powerplay/internal/core/sheet"
+	"powerplay/internal/store"
 	"powerplay/internal/units"
 )
 
@@ -56,18 +57,25 @@ func (s *Server) handleDesignImport(w http.ResponseWriter, r *http.Request, u *U
 	}
 	u.mu.Lock()
 	_, exists := u.Designs[d.Name]
+	var lag int
+	var perr error
 	if !exists {
 		u.Designs[d.Name] = d
+		var rec store.Record
+		if rec, perr = designRecord(d); perr == nil {
+			lag, perr = s.appendUser(u.Name, rec)
+		}
 	}
 	u.mu.Unlock()
 	if exists {
 		http.Error(w, fmt.Sprintf("powerplay: design %q already exists", d.Name), http.StatusConflict)
 		return
 	}
-	if err := s.saveUser(u); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	if perr != nil {
+		http.Error(w, "persisting design: "+perr.Error(), http.StatusInternalServerError)
 		return
 	}
+	s.maybeSnapshotUser(u, lag)
 	http.Redirect(w, r, "/design/"+d.Name, http.StatusSeeOther)
 }
 

@@ -1,12 +1,14 @@
 package web
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"strings"
 
 	"powerplay/internal/core/model"
 	"powerplay/internal/library"
+	"powerplay/internal/store"
 	"powerplay/internal/units"
 )
 
@@ -138,8 +140,16 @@ func (s *Server) handleModelCreate(w http.ResponseWriter, r *http.Request, u *Us
 		fail(err)
 		return
 	}
-	if err := s.saveModels(); err != nil {
-		fail(err)
+	// Journal the full definition in the site scope: replay re-compiles
+	// and re-registers it before any design that prices through it.
+	blob, err := json.Marshal(q)
+	if err == nil {
+		var lag int
+		lag, err = s.appendSite(store.Record{Kind: store.KindModelPut, Model: q.Name, Blob: blob})
+		s.maybeSnapshotSite(lag)
+	}
+	if err != nil {
+		fail(fmt.Errorf("persisting model: %w", err))
 		return
 	}
 	http.Redirect(w, r, "/doc/"+q.Name, http.StatusSeeOther)

@@ -8,6 +8,7 @@ import (
 
 	"powerplay/internal/core/model"
 	"powerplay/internal/core/sheet"
+	"powerplay/internal/store"
 	"powerplay/internal/units"
 )
 
@@ -233,7 +234,7 @@ func (s *Server) handleCellEval(w http.ResponseWriter, r *http.Request, u *User)
 		s.render(w, "cell", page)
 		return
 	}
-	// Update the user's defaults for this model.
+	// Update the user's defaults for this model, journaling the merge.
 	u.mu.Lock()
 	if u.Defaults[name] == nil {
 		u.Defaults[name] = make(map[string]float64)
@@ -241,10 +242,14 @@ func (s *Server) handleCellEval(w http.ResponseWriter, r *http.Request, u *User)
 	for k, v := range params {
 		u.Defaults[name][k] = v
 	}
+	lag, perr := s.appendUser(u.Name, store.Record{
+		Kind: store.KindDefaults, Model: name, Values: params,
+	})
 	u.mu.Unlock()
-	if err := s.saveUser(u); err != nil {
-		page.Error = "saving defaults: " + err.Error()
+	if perr != nil {
+		page.Error = "persisting defaults: " + perr.Error()
 	}
+	s.maybeSnapshotUser(u, lag)
 
 	if r.FormValue("action") == "Add to design" {
 		s.addCellToDesign(w, r, u, name, srcs, page)
@@ -267,41 +272,53 @@ func (s *Server) addCellToDesign(w http.ResponseWriter, r *http.Request, u *User
 	rowName := strings.TrimSpace(r.FormValue("row"))
 	page.Design, page.Row = designName, rowName
 	u.mu.Lock()
+	var recs []store.Record
 	d, ok := u.Designs[designName]
 	if !ok && designName != "" {
-		// Create on first save, like the original tool.
+		// Create on first save, like the original tool.  The fresh
+		// design (with its stock variables) journals whole; the row and
+		// parameters below journal as mutations on top of it.
 		d = sheet.NewDesign(designName, s.registry)
 		d.Root.SetGlobalValue("vdd", 1.5, "1.5")
 		d.Root.SetGlobalValue("f", 1e6, "1MHz")
 		u.Designs[designName] = d
+		if rec, err := designRecord(d); err == nil {
+			recs = append(recs, rec)
+		}
 		ok = true
 	}
 	var addErr error
 	if !ok {
 		addErr = fmt.Errorf("no design named %q", designName)
 	} else {
-		var n *sheet.Node
-		n, addErr = d.Root.AddChild(rowName, modelName)
-		if addErr == nil {
+		m := sheet.Mutation{Op: sheet.MutAddRow, Name: rowName, Model: modelName}
+		if addErr = d.ApplyMutation(m); addErr == nil {
+			recs = append(recs, mutRecord(d, m))
 			for _, p := range pageParamOrder(page) {
 				if src, has := srcs[p]; has {
-					if err := n.SetParam(p, src); err != nil {
-						addErr = err
+					pm := sheet.Mutation{Op: sheet.MutSetParam, Path: rowName, Name: p, Expr: src}
+					if addErr = d.ApplyMutation(pm); addErr != nil {
 						break
 					}
+					recs = append(recs, mutRecord(d, pm))
 				}
 			}
 		}
 	}
+	// Journal whatever landed, even on a halfway failure: the
+	// in-memory tree keeps the successful edits, and the journal must
+	// agree with it.
+	lag, perr := s.appendUser(u.Name, recs...)
 	u.mu.Unlock()
+	s.maybeSnapshotUser(u, lag)
 	if addErr != nil {
 		page.Error = addErr.Error()
 		w.WriteHeader(http.StatusBadRequest)
 		s.render(w, "cell", page)
 		return
 	}
-	if err := s.saveUser(u); err != nil {
-		page.Error = "saving design: " + err.Error()
+	if perr != nil {
+		page.Error = "persisting design: " + perr.Error()
 		s.render(w, "cell", page)
 		return
 	}
@@ -344,7 +361,8 @@ func (s *Server) handleDesigns(w http.ResponseWriter, r *http.Request, u *User) 
 func (s *Server) handleDesignCreate(w http.ResponseWriter, r *http.Request, u *User) {
 	name := strings.TrimSpace(r.FormValue("name"))
 	u.mu.Lock()
-	var err error
+	var err, perr error
+	var lag int
 	switch {
 	case !validUserName(name):
 		err = fmt.Errorf("invalid design name %q", name)
@@ -355,6 +373,10 @@ func (s *Server) handleDesignCreate(w http.ResponseWriter, r *http.Request, u *U
 		d.Root.SetGlobalValue("vdd", 1.5, "1.5")
 		d.Root.SetGlobalValue("f", 1e6, "1MHz")
 		u.Designs[name] = d
+		var rec store.Record
+		if rec, perr = designRecord(d); perr == nil {
+			lag, perr = s.appendUser(u.Name, rec)
+		}
 	}
 	u.mu.Unlock()
 	if err != nil {
@@ -364,9 +386,37 @@ func (s *Server) handleDesignCreate(w http.ResponseWriter, r *http.Request, u *U
 		s.render(w, "designs", page)
 		return
 	}
-	if err := s.saveUser(u); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	if perr != nil {
+		http.Error(w, "persisting design: "+perr.Error(), http.StatusInternalServerError)
 		return
 	}
+	s.maybeSnapshotUser(u, lag)
 	http.Redirect(w, r, "/design/"+name, http.StatusSeeOther)
+}
+
+// handleDesignDelete removes a design from the account — journaled,
+// so the deletion survives a crash like any other mutation.
+func (s *Server) handleDesignDelete(w http.ResponseWriter, r *http.Request, u *User) {
+	name := strings.TrimSpace(r.FormValue("name"))
+	u.mu.Lock()
+	_, ok := u.Designs[name]
+	var lag int
+	var perr error
+	if ok {
+		delete(u.Designs, name)
+		lag, perr = s.appendUser(u.Name, store.Record{
+			Kind: store.KindDesignDelete, Design: name,
+		})
+	}
+	u.mu.Unlock()
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	if perr != nil {
+		http.Error(w, "persisting deletion: "+perr.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.maybeSnapshotUser(u, lag)
+	http.Redirect(w, r, "/designs", http.StatusSeeOther)
 }

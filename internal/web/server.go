@@ -37,6 +37,7 @@ import (
 	"powerplay/internal/core/model"
 	"powerplay/internal/core/sheet"
 	"powerplay/internal/library"
+	"powerplay/internal/store"
 )
 
 // Config parameterizes a server.
@@ -83,6 +84,14 @@ type Config struct {
 	// -incremental=false flag.  Results are bit-identical either way;
 	// only the cost model changes.
 	DisableIncremental bool
+	// Durability selects the journal fsync policy when DataDir is set:
+	// "always" (fsync per mutation), "interval" (background fsync, the
+	// default), or "never" (leave it to the OS).  See store.ParsePolicy.
+	Durability string
+	// SnapshotEvery is the per-user journal length at which the server
+	// folds the journal into a snapshot; zero selects the store's
+	// default (512 records).
+	SnapshotEvery int
 }
 
 // User is one identified user's server-side state.
@@ -131,6 +140,16 @@ type Server struct {
 
 	// started timestamps server construction for the healthz uptime.
 	started time.Time
+
+	// store is the durability layer (nil without a DataDir): the
+	// per-user mutation journals and snapshots every mutating handler
+	// writes through (see persist.go).
+	store *store.Store
+	// lastRecovery summarizes the boot replay for healthz.
+	lastRecovery *store.RecoveryStats
+	// mounts is the live remote-mount table, journaled so a restarted
+	// site can re-mount.  Guarded by mu.
+	mounts []store.MountSpec
 }
 
 // sweepCacheEntry ties a point cache to the design snapshot it was
@@ -161,7 +180,7 @@ func NewServer(cfg Config, reg *model.Registry) (*Server, error) {
 		started:     time.Now(),
 	}
 	if cfg.DataDir != "" {
-		if err := s.loadState(); err != nil {
+		if err := s.openStore(); err != nil {
 			return nil, err
 		}
 	}
@@ -210,7 +229,10 @@ func (s *Server) sweepCacheFor(user string, d *sheet.Design) *explore.Cache {
 
 // InstallDesign places a design under a user's account (creating the
 // account if needed) and persists it: how seeded demos and programmatic
-// imports land on a site.
+// imports land on a site.  If the user already has a design with that
+// name, the existing one wins and the call is a no-op — so re-running
+// a seed flag on a durable site after a restart cannot clobber the
+// edits recovery just replayed.
 func (s *Server) InstallDesign(userName string, d *sheet.Design) error {
 	if !validUserName(userName) {
 		return fmt.Errorf("web: invalid user name %q", userName)
@@ -230,9 +252,22 @@ func (s *Server) InstallDesign(userName string, d *sheet.Design) error {
 	}
 	s.mu.Unlock()
 	u.mu.Lock()
+	if _, exists := u.Designs[d.Name]; exists {
+		u.mu.Unlock()
+		return nil
+	}
 	u.Designs[d.Name] = d
+	rec, err := designRecord(d)
+	var lag int
+	if err == nil {
+		lag, err = s.appendUser(u.Name, rec)
+	}
 	u.mu.Unlock()
-	return s.saveUser(u)
+	if err != nil {
+		return fmt.Errorf("web: persisting design %s: %w", d.Name, err)
+	}
+	s.maybeSnapshotUser(u, lag)
+	return nil
 }
 
 // Handler returns the site's HTTP handler.
@@ -253,6 +288,7 @@ func (s *Server) Handler() http.Handler {
 	handle("POST /cell/{name...}", s.auth(s.handleCellEval))
 	handle("GET /designs", s.auth(s.handleDesigns))
 	handle("POST /designs", s.auth(s.handleDesignCreate))
+	handle("POST /designs/delete", s.auth(s.handleDesignDelete))
 	handle("GET /design/{name}", s.auth(s.handleDesignSheet))
 	handle("POST /design/{name}/play", s.auth(s.handleDesignPlay))
 	handle("POST /design/{name}/rows", s.auth(s.handleDesignRows))
@@ -379,6 +415,13 @@ func (s *Server) login(name string) (token string, err error) {
 			Designs:  make(map[string]*sheet.Design),
 		}
 		s.users[name] = u
+		// Journal the account's existence so a crashed site greets the
+		// user by name again.  Still under s.mu, so no concurrent writer
+		// for this brand-new user exists yet.
+		if _, err := s.appendUser(name, store.Record{Kind: store.KindUserCreate}); err != nil {
+			delete(s.users, name)
+			return "", fmt.Errorf("persisting account: %w", err)
+		}
 	}
 	token = newToken()
 	s.sessions[token] = name
@@ -399,58 +442,15 @@ func validUserName(s string) bool {
 	return true
 }
 
-// ----- persistence -----
+// ----- legacy persistence (read-only, for migration) -----
 
 func (s *Server) userDir(name string) string {
 	return filepath.Join(s.cfg.DataDir, "users", name)
 }
 
-// saveUser persists a user's defaults and designs.
-func (s *Server) saveUser(u *User) error {
-	if s.cfg.DataDir == "" {
-		return nil
-	}
-	u.mu.RLock()
-	defer u.mu.RUnlock()
-	dir := s.userDir(u.Name)
-	if err := os.MkdirAll(filepath.Join(dir, "designs"), 0o755); err != nil {
-		return err
-	}
-	blob, err := json.MarshalIndent(u.Defaults, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(filepath.Join(dir, "defaults.json"), blob, 0o644); err != nil {
-		return err
-	}
-	for name, d := range u.Designs {
-		db, err := d.MarshalJSON()
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(filepath.Join(dir, "designs", name+".json"), db, 0o644); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// saveModels persists the site's user-defined equation models.
-func (s *Server) saveModels() error {
-	if s.cfg.DataDir == "" {
-		return nil
-	}
-	blob, err := library.DumpEquations(s.registry)
-	if err != nil {
-		return err
-	}
-	if err := os.MkdirAll(s.cfg.DataDir, 0o755); err != nil {
-		return err
-	}
-	return os.WriteFile(filepath.Join(s.cfg.DataDir, "models.json"), blob, 0o644)
-}
-
-// loadState restores users, designs and site models from DataDir.
+// loadState restores users, designs and site models from the
+// pre-journal flat-file layout.  It survives only as the migration
+// reader (see persist.go); the write path is the journal store.
 func (s *Server) loadState() error {
 	if blob, err := os.ReadFile(filepath.Join(s.cfg.DataDir, "models.json")); err == nil {
 		if _, err := library.LoadEquations(s.registry, blob); err != nil {

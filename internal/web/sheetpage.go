@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"powerplay/internal/core/sheet"
+	"powerplay/internal/store"
 	"powerplay/internal/units"
 )
 
@@ -155,6 +156,20 @@ func (s *Server) handleDesignPlay(w http.ResponseWriter, r *http.Request, u *Use
 	}
 	u.mu.Lock()
 	var editErr error
+	var recs []store.Record
+	// apply runs one edit through the journaled-mutation path: the
+	// record is built right after the successful ApplyMutation, so its
+	// Gen is the generation this edit produced.  Edits that fail leave
+	// the tree untouched and journal nothing; edits that succeed are
+	// journaled even when a later edit fails, because the in-memory
+	// tree keeps them.
+	apply := func(m sheet.Mutation) {
+		if err := d.ApplyMutation(m); err != nil {
+			editErr = err
+			return
+		}
+		recs = append(recs, mutRecord(d, m))
+	}
 	for key, vals := range r.PostForm {
 		if len(vals) == 0 {
 			continue
@@ -167,43 +182,37 @@ func (s *Server) handleDesignPlay(w http.ResponseWriter, r *http.Request, u *Use
 			if !ok {
 				continue
 			}
-			n := d.Root.Find(path)
-			if n == nil {
-				editErr = fmt.Errorf("no row %q", path)
-				continue
-			}
 			if src == "" {
-				n.DeleteParam(param)
+				apply(sheet.Mutation{Op: sheet.MutDeleteParam, Path: path, Name: param})
 				continue
 			}
-			if err := n.SetParam(param, src); err != nil {
-				editErr = err
-			}
+			apply(sheet.Mutation{Op: sheet.MutSetParam, Path: path, Name: param, Expr: src})
 		case strings.HasPrefix(key, "glob_"):
 			name := strings.TrimPrefix(key, "glob_")
 			if src == "" {
-				d.Root.DeleteGlobal(name)
+				apply(sheet.Mutation{Op: sheet.MutDeleteGlobal, Name: name})
 				continue
 			}
-			if err := d.Root.SetGlobal(name, src); err != nil {
-				editErr = err
-			}
+			apply(sheet.Mutation{Op: sheet.MutSetGlobal, Name: name, Expr: src})
 		}
 	}
 	// Play's contract is "recompute now": bump the generation even when
 	// no cell changed, so the memoized result, the cached page and its
 	// ETag all retire — a mounted remote model may price differently on
-	// the recompute, and clients must not 304 across a Play.
-	d.Touch()
+	// the recompute, and clients must not 304 across a Play.  Journaled
+	// like any edit, so replayed generations match live ones.
+	apply(sheet.Mutation{Op: sheet.MutTouch})
 	res, evalErr := s.evalDesign(u.Name, d)
 	page := s.buildSheetPage(d, res, evalErr)
+	lag, perr := s.appendUser(u.Name, recs...)
 	u.mu.Unlock()
 	if editErr != nil && page.Error == "" {
 		page.Error = editErr.Error()
 	}
-	if err := s.saveUser(u); err != nil && page.Error == "" {
-		page.Error = "saving design: " + err.Error()
+	if perr != nil && page.Error == "" {
+		page.Error = "persisting design: " + perr.Error()
 	}
+	s.maybeSnapshotUser(u, lag)
 	s.render(w, "sheet", page)
 }
 
@@ -216,29 +225,36 @@ func (s *Server) handleDesignRows(w http.ResponseWriter, r *http.Request, u *Use
 	}
 	u.mu.Lock()
 	var err error
+	var recs []store.Record
+	// apply journals the structural edit iff it landed (see Play).
+	apply := func(m sheet.Mutation) {
+		if err = d.ApplyMutation(m); err == nil {
+			recs = append(recs, mutRecord(d, m))
+		}
+	}
 	switch r.FormValue("action") {
 	case "Add":
-		parent := d.Root
-		if p := strings.TrimSpace(r.FormValue("parent")); p != "" {
-			if parent = d.Root.Find(p); parent == nil {
-				err = fmt.Errorf("no row %q", p)
-			}
+		parentPath := strings.TrimSpace(r.FormValue("parent"))
+		if parentPath != "" && d.Root.Find(parentPath) == nil {
+			err = fmt.Errorf("no row %q", parentPath)
+			break
 		}
-		if err == nil {
-			_, err = parent.AddChild(strings.TrimSpace(r.FormValue("row")),
-				strings.TrimSpace(r.FormValue("model")))
-		}
+		apply(sheet.Mutation{Op: sheet.MutAddRow, Path: parentPath,
+			Name:  strings.TrimSpace(r.FormValue("row")),
+			Model: strings.TrimSpace(r.FormValue("model"))})
 	case "Remove":
 		path := strings.TrimSpace(r.FormValue("row"))
 		target := d.Root.Find(path)
 		if target == nil || target.Parent() == nil {
 			err = fmt.Errorf("no removable row %q", path)
-		} else {
-			target.Parent().RemoveChild(target.Name)
+			break
 		}
+		apply(sheet.Mutation{Op: sheet.MutRemoveRow,
+			Path: target.Parent().Path(), Name: target.Name})
 	case "SetVar":
-		err = d.Root.SetGlobal(strings.TrimSpace(r.FormValue("var")),
-			strings.TrimSpace(r.FormValue("expr")))
+		apply(sheet.Mutation{Op: sheet.MutSetGlobal,
+			Name: strings.TrimSpace(r.FormValue("var")),
+			Expr: strings.TrimSpace(r.FormValue("expr"))})
 	default:
 		err = fmt.Errorf("unknown action %q", r.FormValue("action"))
 	}
@@ -247,6 +263,7 @@ func (s *Server) handleDesignRows(w http.ResponseWriter, r *http.Request, u *Use
 	// result either way.
 	res, evalErr := s.evalDesign(u.Name, d)
 	page := s.buildSheetPage(d, res, evalErr)
+	lag, perr := s.appendUser(u.Name, recs...)
 	u.mu.Unlock()
 	if err != nil {
 		page.Error = err.Error()
@@ -254,8 +271,9 @@ func (s *Server) handleDesignRows(w http.ResponseWriter, r *http.Request, u *Use
 		s.render(w, "sheet", page)
 		return
 	}
-	if serr := s.saveUser(u); serr != nil && page.Error == "" {
-		page.Error = "saving design: " + serr.Error()
+	if perr != nil && page.Error == "" {
+		page.Error = "persisting design: " + perr.Error()
 	}
+	s.maybeSnapshotUser(u, lag)
 	s.render(w, "sheet", page)
 }

@@ -98,9 +98,10 @@ row name: <input name="row" value="{{.Row}}" size="14">
 {{define "designs"}}{{template "head" .}}
 {{if .Error}}<p class="err">{{.Error}}</p>{{end}}
 <table>
-<tr><th>Design</th><th>Rows</th></tr>
+<tr><th>Design</th><th>Rows</th><th></th></tr>
 {{range .Designs}}
-<tr><td><a href="/design/{{.Name}}">{{.Name}}</a></td><td class="num">{{.Rows}}</td></tr>
+<tr><td><a href="/design/{{.Name}}">{{.Name}}</a></td><td class="num">{{.Rows}}</td>
+<td><form method="POST" action="/designs/delete"><input type="hidden" name="name" value="{{.Name}}"><input type="submit" value="Delete"></form></td></tr>
 {{end}}
 </table>
 <form method="POST" action="/designs">
