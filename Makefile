@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench benchserve bench-batch bench-incremental metrics-smoke faultsim crashsim repro examples libdoc clean
+.PHONY: all build test vet race bench benchserve bench-batch bench-incremental metrics-smoke faultsim crashsim shardsim repro examples libdoc clean
 
 all: build vet test
 
@@ -60,6 +60,14 @@ faultsim:
 # journal (see DESIGN.md "Durability").
 crashsim:
 	POWERPLAY_CRASHSIM=1 $(GO) test -run 'TestCrashSim' -v ./cmd/powerplay/
+
+# The shard fleet simulator: build the real binary, run a router over
+# two shard-aware backends, and kill -9 / restart one backend under
+# live traffic — the breaker must open (fast 503s for the dead shard,
+# the survivor unperturbed) and the restarted shard must rejoin
+# serving its partition byte-identically (see DESIGN.md "Sharding").
+shardsim:
+	POWERPLAY_SHARDSIM=1 $(GO) test -run 'TestShardSim' -v ./cmd/powerplay/
 
 # Regenerate every figure, table and ablation from the paper.
 repro:

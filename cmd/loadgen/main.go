@@ -67,6 +67,7 @@ type report struct {
 	SpeedupGet    float64         `json:"speedup_cached_get"`
 	SpeedupRevali float64         `json:"speedup_conditional_get"`
 	Recovery      *recoveryReport `json:"recovery,omitempty"`
+	Shard         *shardReport    `json:"shard,omitempty"`
 }
 
 // recoveryReport is the crash-recovery phase: a durable site takes a
@@ -141,6 +142,11 @@ func main() {
 	rep.Recovery = &rec
 	fmt.Printf("%-22s %8d records replayed in %6.1f ms   byte-identical %v\n",
 		"crash-recovery", rec.RecordsReplayed, rec.RecoveryMs, rec.ByteIdentical)
+
+	sh := runShardPhase(*clients, *perClient)
+	rep.Shard = &sh
+	fmt.Printf("%-22s %8.0f req/s (N=1)  %8.0f req/s (N=4)   %.2fx   efficiency %.2f\n",
+		"shard-scaling", sh.RPSN1, sh.RPSN4, sh.Speedup, sh.ScalingEfficiency)
 
 	rep.SpeedupGet = hot.RPS / base.RPS
 	rep.SpeedupRevali = reval.RPS / base.RPS

@@ -9,6 +9,13 @@
 //
 // With -seed, the Luminance_1/Luminance_2 sheets (Figures 1-3) and the
 // InfoPad system sheet (Figure 5) are installed for the "demo" user.
+//
+// A horizontally sharded fleet (internal/shard) runs one router in
+// front of N shard-aware backends:
+//
+//	powerplay -shard-id 0 -shard-count 2 -data ./shard0 -addr :8100
+//	powerplay -shard-id 1 -shard-count 2 -data ./shard1 -addr :8101
+//	powerplay -mode router -backends 127.0.0.1:8100,127.0.0.1:8101
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"powerplay/internal/infopad"
 	"powerplay/internal/library"
 	"powerplay/internal/obs"
+	"powerplay/internal/shard"
 	"powerplay/internal/vqsim"
 	"powerplay/internal/web"
 )
@@ -48,6 +56,11 @@ func main() {
 	profiling := flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/")
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON (default: human-readable text)")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	mode := flag.String("mode", "serve", "process role: serve (a site/backend) or router (shard front door)")
+	backends := flag.String("backends", "", "router mode: comma-separated backend addresses in shard order")
+	shardID := flag.Int("shard-id", 0, "this backend's shard index (with -shard-count)")
+	shardCount := flag.Int("shard-count", 0, "total shards in the fleet (0 = unsharded); router mode: hash width (0 = backend count)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "router mode: per-backend circuit-breaker cooldown (0 = 10s default)")
 	var mounts multiFlag
 	flag.Var(&mounts, "mount", "remote library to mount, url=prefix (repeatable)")
 	flag.Parse()
@@ -55,6 +68,14 @@ func main() {
 	if err := setupLogging(*logLevel, *logJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "powerplay:", err)
 		os.Exit(1)
+	}
+
+	if *mode == "router" {
+		runRouter(*addr, *backends, *shardCount, *password, *breakerCooldown)
+		return
+	}
+	if *mode != "serve" {
+		fatal("unknown -mode", "mode", *mode)
 	}
 
 	// Parse -mount specs up front so bad syntax fails before any state
@@ -78,6 +99,7 @@ func main() {
 		SiteName: *siteName, DataDir: *data, Password: *password,
 		SweepTimeout: *sweepTimeout, SweepChunk: *sweepChunk, CacheEntries: *cacheLimit,
 		DisableIncremental: !*incremental, Durability: *durability,
+		ShardID: *shardID, ShardCount: *shardCount,
 	}, reg)
 	if err != nil {
 		fatal("server setup failed", "err", err)
@@ -108,10 +130,15 @@ func main() {
 		slog.Info("mounted remote library", "models", n, "url", url, "prefix", prefix)
 	}
 	if *seed {
-		if err := seedDesigns(srv); err != nil {
+		if !srv.Owns("demo") {
+			// On a sharded backend the demo user lands on exactly one
+			// shard; the others seed nothing.
+			slog.Info("skipping seed: user 'demo' belongs to another shard")
+		} else if err := seedDesigns(srv); err != nil {
 			fatal("seeding designs failed", "err", err)
+		} else {
+			slog.Info("seeded the paper's designs", "user", "demo")
 		}
-		slog.Info("seeded the paper's designs", "user", "demo")
 	}
 	handler := srv.Handler()
 	if *profiling {
@@ -139,6 +166,42 @@ func main() {
 		fatal("final snapshot on shutdown failed; journals retained for replay on next boot", "err", err)
 	}
 	slog.Info("shut down cleanly", "site", *siteName)
+}
+
+// runRouter is -mode router: the shard fleet's front door.  It owns no
+// state at all — killing and restarting a router loses nothing — so
+// its lifecycle is just listen, serve, drain.
+func runRouter(addr, backends string, shardCount int, key string, cooldown time.Duration) {
+	var list []string
+	for _, b := range strings.Split(backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			list = append(list, b)
+		}
+	}
+	if len(list) == 0 {
+		fatal("-mode router needs -backends host:port[,host:port...]")
+	}
+	rt, err := shard.NewRouter(shard.Config{
+		Backends:        list,
+		ShardCount:      shardCount,
+		Key:             key,
+		BreakerCooldown: cooldown,
+	})
+	if err != nil {
+		fatal("router setup failed", "err", err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal("listen failed", "addr", addr, "err", err)
+	}
+	slog.Info("router listening", "url", "http://"+ln.Addr().String(),
+		"backends", len(list), "shards", rt.ShardCount())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := serve(ctx, ln, rt.Handler()); err != nil {
+		fatal("router serve failed", "err", err)
+	}
+	slog.Info("router shut down cleanly")
 }
 
 // setupLogging installs the process-wide slog default, which the web

@@ -1,0 +1,26 @@
+package shard
+
+// The shard router's instrument families, following the web layer's
+// conventions: bounded label cardinality only — backend labels are
+// shard indices (a small closed set fixed by the fleet size), never
+// user names or paths.
+
+import "powerplay/internal/obs"
+
+var (
+	ringLookups = obs.NewCounter("powerplay_shard_lookups_total",
+		"Rendezvous hash-ring ownership lookups.")
+	proxiedRequests = obs.NewCounterVec("powerplay_shard_proxied_requests_total",
+		"Requests the router proxied, by backend shard index and upstream status class (2xx/3xx/4xx/5xx/error).",
+		"backend", "status")
+	shardRedirects = obs.NewCounter("powerplay_shard_redirects_total",
+		"ShardRedirect (421) answers consumed by the router: misdirected requests re-routed to the owning backend.")
+	shardBreakerTransitions = obs.NewCounterVec("powerplay_shard_breaker_transitions_total",
+		"Router per-backend circuit breaker transitions, by backend shard index and state entered.",
+		"backend", "to")
+	shardReplications = obs.NewCounterVec("powerplay_shard_replications_total",
+		"Site-scope write replications fanned out to backends, by outcome (ok/error).",
+		"outcome")
+	shardRejected = obs.NewCounter("powerplay_shard_rejected_total",
+		"Requests the router refused outright: owning backend breaker open or unreachable.")
+)

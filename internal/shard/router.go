@@ -1,0 +1,479 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"powerplay/internal/circuit"
+	"powerplay/internal/obs"
+)
+
+// Config parameterizes a Router.
+type Config struct {
+	// Backends are the backend base URLs in shard order: Backends[i]
+	// serves shard i.  Required, at least one.
+	Backends []string
+	// ShardCount is the hash width — how many shards the user corpus
+	// is partitioned into.  Zero selects len(Backends), the steady
+	// state.  During a fleet resize it may lag behind the backend list
+	// (the list already holds the new backend, the hash still spreads
+	// over the old count); misdirected requests then self-heal through
+	// ShardRedirect answers.  Never larger than len(Backends): a shard
+	// with no backend would be unroutable.
+	ShardCount int
+	// Key is the site password, forwarded on internal replication
+	// calls (X-PowerPlay-Key).  Client requests pass their own
+	// credentials through untouched.
+	Key string
+	// BreakerThreshold and BreakerCooldown parameterize each backend's
+	// circuit breaker; zeros select the circuit package defaults
+	// (5 failures, 10 s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// MaxIdlePerBackend caps the keep-alive connection pool per
+	// backend; zero selects 32.
+	MaxIdlePerBackend int
+}
+
+func (c Config) maxIdle() int {
+	if c.MaxIdlePerBackend > 0 {
+		return c.MaxIdlePerBackend
+	}
+	return 32
+}
+
+// maxBufferedBody bounds how much of a request body the router holds
+// in memory so it can retry after a ShardRedirect and replicate
+// site-scope writes.  Matches the backends' own 4 MiB body cap with
+// headroom; a larger body streams through with no retry capability.
+const maxBufferedBody = 8 << 20
+
+// Router is the shard front door: one process that owns no user state
+// at all, just the hash, the backend list, and a breaker per backend.
+//
+// Request routing:
+//
+//   - POST /login routes by the form's user field (the shard key is
+//     the user name; the login form is where it first appears);
+//   - anything carrying the powerplay_user cookie routes to that
+//     user's owner backend;
+//   - /api/v1/healthz and /metrics answer locally (the router's own
+//     health and instruments — backend health is per-backend);
+//   - everything else (the front page, the library, the site-scope
+//     model API) spreads round-robin over breaker-closed backends,
+//     which is safe because site-scope state replicates everywhere.
+//
+// A backend answering 421 ShardRedirect triggers one re-route to the
+// owner it names — how a router with a stale ShardCount keeps serving
+// through a resize.  A backend whose breaker is open costs its users a
+// fast 503 with the v1 error envelope; everyone else is untouched.
+type Router struct {
+	cfg      Config
+	backends []string // normalized: scheme://host, no trailing slash
+	ring     *Ring
+	breakers []*circuit.Breaker
+	client   *http.Client
+	rr       atomic.Uint64
+	started  time.Time
+}
+
+// NewRouter validates the configuration and builds the router with its
+// pooled keep-alive transport and per-backend breakers.
+func NewRouter(cfg Config) (*Router, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("shard: router needs at least one backend")
+	}
+	n := cfg.ShardCount
+	if n == 0 {
+		n = len(cfg.Backends)
+	}
+	if n < 1 || n > len(cfg.Backends) {
+		return nil, fmt.Errorf("shard: shard count %d not in 1..%d (the backend list)", n, len(cfg.Backends))
+	}
+	rt := &Router{
+		cfg:     cfg,
+		ring:    NewRing(Members(n)),
+		started: time.Now(),
+	}
+	for i, b := range cfg.Backends {
+		b = strings.TrimSuffix(b, "/")
+		if !strings.Contains(b, "://") {
+			b = "http://" + b
+		}
+		u, err := url.Parse(b)
+		if err != nil || u.Host == "" {
+			return nil, fmt.Errorf("shard: backend %d: unusable URL %q", i, cfg.Backends[i])
+		}
+		rt.backends = append(rt.backends, b)
+		idx := strconv.Itoa(i)
+		rt.breakers = append(rt.breakers, &circuit.Breaker{
+			Threshold: cfg.BreakerThreshold,
+			Cooldown:  cfg.BreakerCooldown,
+			OnTransition: func(to circuit.State) {
+				shardBreakerTransitions.With(idx, to.String()).Inc()
+			},
+		})
+	}
+	rt.client = &http.Client{
+		Transport: &http.Transport{
+			DialContext:         (&net.Dialer{Timeout: 5 * time.Second, KeepAlive: 30 * time.Second}).DialContext,
+			MaxIdleConns:        cfg.maxIdle() * len(cfg.Backends),
+			MaxIdleConnsPerHost: cfg.maxIdle(),
+			IdleConnTimeout:     90 * time.Second,
+			// Above the backends' own 2 min request deadline, so a slow
+			// sweep finishes and only a truly hung backend trips this.
+			ResponseHeaderTimeout: 150 * time.Second,
+		},
+		// The router never follows 3xx: redirects (the app's 303s)
+		// belong to the browser.
+		CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+	}
+	return rt, nil
+}
+
+// ShardCount returns the hash width in force.
+func (rt *Router) ShardCount() int { return rt.ring.Len() }
+
+// BreakerState reports one backend's breaker state (for healthz and
+// tests).
+func (rt *Router) BreakerState(i int) circuit.State { return rt.breakers[i].State() }
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v1/healthz", rt.handleHealthz)
+	mux.Handle("GET /metrics", obs.Handler())
+	mux.HandleFunc("/", rt.route)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Echo (or mint) the request ID so one ID follows the request
+		// through router log lines, backend log lines, and the client's
+		// error envelope.
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = obs.NewRequestID()
+			r.Header.Set("X-Request-ID", id)
+		}
+		w.Header().Set("X-Request-ID", id)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// route is the proxying path: extract the shard key, pick the backend,
+// forward.
+func (rt *Router) route(w http.ResponseWriter, r *http.Request) {
+	body, buffered, err := rt.bufferBody(r)
+	if err != nil {
+		rt.fail(w, r, http.StatusBadGateway, CodeUnavailable, "reading request body: "+err.Error())
+		return
+	}
+	user := rt.requestUser(r, body)
+	if user != "" {
+		target := rt.ring.Pick(user)
+		rt.proxy(w, r, target, body, buffered, false)
+		return
+	}
+	// Site-scope / anonymous traffic: any healthy backend will do.
+	target, ok := rt.nextHealthy()
+	if !ok {
+		shardRejected.Inc()
+		rt.fail(w, r, http.StatusServiceUnavailable, CodeUnavailable, "no backend available")
+		return
+	}
+	rt.proxy(w, r, target, body, buffered, true)
+}
+
+// requestUser extracts the shard key: the login form's user field on
+// POST /login, the routing cookie everywhere else.
+func (rt *Router) requestUser(r *http.Request, body []byte) string {
+	if r.Method == http.MethodPost && r.URL.Path == "/login" {
+		ct := r.Header.Get("Content-Type")
+		if body != nil && (ct == "" || strings.HasPrefix(ct, "application/x-www-form-urlencoded")) {
+			if vals, err := url.ParseQuery(string(body)); err == nil {
+				if u := vals.Get("user"); u != "" {
+					return u
+				}
+			}
+		}
+		return ""
+	}
+	if c, err := r.Cookie(UserCookie); err == nil && c.Value != "" {
+		return c.Value
+	}
+	return ""
+}
+
+// bufferBody reads a bounded request body into memory so the request
+// can be retried (ShardRedirect) and replicated (site-scope writes).
+// An over-limit body is not consumed: buffered reports false and the
+// request streams through exactly once.
+func (rt *Router) bufferBody(r *http.Request) (body []byte, buffered bool, err error) {
+	if r.Body == nil || r.Body == http.NoBody {
+		return nil, true, nil
+	}
+	if r.ContentLength > maxBufferedBody {
+		return nil, false, nil
+	}
+	body, err = io.ReadAll(io.LimitReader(r.Body, maxBufferedBody+1))
+	if err != nil {
+		return nil, false, err
+	}
+	if len(body) > maxBufferedBody {
+		// Too big after all (chunked encoding): stream the rest through,
+		// stitching the consumed prefix back on.
+		r.Body = struct {
+			io.Reader
+			io.Closer
+		}{io.MultiReader(bytes.NewReader(body), r.Body), r.Body}
+		return nil, false, nil
+	}
+	return body, true, nil
+}
+
+// nextHealthy picks the next round-robin backend whose breaker admits
+// traffic, scanning at most one full cycle.
+func (rt *Router) nextHealthy() (int, bool) {
+	n := len(rt.backends)
+	start := int(rt.rr.Add(1))
+	for k := 0; k < n; k++ {
+		i := (start + k) % n
+		if rt.breakers[i].State() != circuit.Open {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// proxy forwards one request to backends[target], following at most
+// one ShardRedirect, and copies the response back.  rr marks
+// round-robin (site-scope) traffic, which may fail over to another
+// backend; user traffic must not — the user's state lives on exactly
+// one backend.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, target int, body []byte, buffered bool, rr bool) {
+	resp, err := rt.attempt(r, target, body, buffered)
+	if err != nil && rr && buffered {
+		// Site-scope reads are stateless: one failover attempt.
+		if next, ok := rt.nextHealthy(); ok && next != target {
+			target = next
+			resp, err = rt.attempt(r, target, body, buffered)
+		}
+	}
+	if err != nil {
+		shardRejected.Inc()
+		proxiedRequests.With(strconv.Itoa(target), "error").Inc()
+		rt.fail(w, r, http.StatusServiceUnavailable, CodeUnavailable,
+			fmt.Sprintf("shard %d unavailable: %v", target, err))
+		return
+	}
+	// A misdirected request: the backend told us who owns the user.
+	// Trust it for one hop — the backend's count is ground truth for
+	// its own journal partition — and re-route.
+	if resp.StatusCode == StatusMisdirected && buffered {
+		owner, oerr := strconv.Atoi(resp.Header.Get(HeaderOwner))
+		if oerr == nil && owner != target && owner >= 0 && owner < len(rt.backends) {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			shardRedirects.Inc()
+			if cnt := resp.Header.Get(HeaderCount); cnt != "" && cnt != strconv.Itoa(rt.ring.Len()) {
+				slog.Warn("shard: backend disagrees on shard count; following its redirect",
+					"router_count", rt.ring.Len(), "backend_count", cnt, "owner", owner)
+			}
+			target = owner
+			resp, err = rt.attempt(r, target, body, buffered)
+			if err != nil {
+				shardRejected.Inc()
+				proxiedRequests.With(strconv.Itoa(target), "error").Inc()
+				rt.fail(w, r, http.StatusServiceUnavailable, CodeUnavailable,
+					fmt.Sprintf("shard %d unavailable: %v", target, err))
+				return
+			}
+		}
+	}
+	defer resp.Body.Close()
+	proxiedRequests.With(strconv.Itoa(target), statusClass(resp.StatusCode)).Inc()
+	// Site-model replication: a successful model definition on the
+	// owner backend fans out to every other backend, so site-scope
+	// reads stay local to whichever backend answers them.  Synchronous
+	// and before the client sees the 303, so a follow-up GET /library
+	// through any backend already shows the model.
+	if r.Method == http.MethodPost && r.URL.Path == "/models/new" &&
+		resp.StatusCode == http.StatusSeeOther && buffered && body != nil {
+		rt.replicateModel(r, body, target)
+	}
+	copyHeaders(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// attempt issues one proxied request through the target's breaker.
+func (rt *Router) attempt(r *http.Request, target int, body []byte, buffered bool) (*http.Response, error) {
+	br := rt.breakers[target]
+	if err := br.Allow(); err != nil {
+		return nil, err
+	}
+	var rd io.Reader
+	if buffered {
+		if len(body) > 0 {
+			rd = bytes.NewReader(body)
+		}
+	} else {
+		rd = r.Body
+	}
+	out, err := http.NewRequestWithContext(r.Context(), r.Method,
+		rt.backends[target]+r.URL.RequestURI(), rd)
+	if err != nil {
+		br.Success() // a malformed URL is our bug, not the backend's health
+		return nil, err
+	}
+	copyHeaders(out.Header, r.Header)
+	out.Header.Set("X-Forwarded-Host", r.Host)
+	if ip, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		if prior := r.Header.Get("X-Forwarded-For"); prior != "" {
+			ip = prior + ", " + ip
+		}
+		out.Header.Set("X-Forwarded-For", ip)
+	}
+	if buffered {
+		out.ContentLength = int64(len(body))
+	}
+	resp, err := rt.client.Do(out)
+	if err != nil {
+		br.Failure()
+		return nil, err
+	}
+	// Any HTTP answer means the process is alive: application-level
+	// errors (404s, even 500s from one handler) are not fleet-topology
+	// signals and must not blackhole a whole shard.
+	br.Success()
+	return resp, nil
+}
+
+// replicateModel fans a successful site-model definition out to every
+// backend except src, through each backend's internal
+// POST /api/v1/shard/model endpoint.  Best-effort: a backend that is
+// down misses the model until an operator re-replicates (its breaker
+// state says so); the owner's journal holds the authoritative copy.
+func (rt *Router) replicateModel(r *http.Request, body []byte, src int) {
+	for i := range rt.backends {
+		if i == src || rt.breakers[i].State() == circuit.Open {
+			continue
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+			rt.backends[i]+"/api/v1/shard/model", bytes.NewReader(body))
+		if err != nil {
+			shardReplications.With("error").Inc()
+			continue
+		}
+		if ct := r.Header.Get("Content-Type"); ct != "" {
+			req.Header.Set("Content-Type", ct)
+		}
+		if rt.cfg.Key != "" {
+			req.Header.Set("X-PowerPlay-Key", rt.cfg.Key)
+		}
+		req.Header.Set("X-Request-ID", r.Header.Get("X-Request-ID"))
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			shardReplications.With("error").Inc()
+			slog.Warn("shard: model replication failed", "backend", i, "err", err)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode/100 == 2 {
+			shardReplications.With("ok").Inc()
+		} else {
+			shardReplications.With("error").Inc()
+			slog.Warn("shard: model replication rejected", "backend", i, "status", resp.StatusCode)
+		}
+	}
+}
+
+// ----- healthz -----
+
+// healthBackend is one backend's row in the router healthz.
+type healthBackend struct {
+	URL     string `json:"url"`
+	ShardID int    `json:"shard_id"`
+	Breaker string `json:"breaker"`
+}
+
+// healthzResponse is the router's GET /api/v1/healthz body: the shard
+// identity block (role, shard_count) plus every backend's breaker
+// state — the one-glance fleet view.
+type healthzResponse struct {
+	Status        string          `json:"status"`
+	Role          string          `json:"role"`
+	ShardCount    int             `json:"shard_count"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Backends      []healthBackend `json:"backends"`
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := healthzResponse{
+		Status:        "ok",
+		Role:          RoleRouter,
+		ShardCount:    rt.ring.Len(),
+		UptimeSeconds: time.Since(rt.started).Seconds(),
+	}
+	for i, b := range rt.backends {
+		resp.Backends = append(resp.Backends, healthBackend{
+			URL: b, ShardID: i, Breaker: rt.breakers[i].State().String(),
+		})
+	}
+	w.Header().Set(HeaderShard, RoleRouter)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// fail writes the v1 error envelope, matching the backends' shape so a
+// client never needs to know which process refused it.
+func (rt *Router) fail(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
+	w.Header().Set(HeaderShard, RoleRouter)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{"error": map[string]string{
+		"code": code, "message": msg, "request_id": w.Header().Get("X-Request-ID"),
+	}})
+}
+
+// hopHeaders are the hop-by-hop headers a proxy must not forward.
+var hopHeaders = []string{
+	"Connection", "Proxy-Connection", "Keep-Alive", "Proxy-Authenticate",
+	"Proxy-Authorization", "Te", "Trailer", "Transfer-Encoding", "Upgrade",
+}
+
+func copyHeaders(dst, src http.Header) {
+	for k, vv := range src {
+		for _, v := range vv {
+			dst.Add(k, v)
+		}
+	}
+	for _, h := range hopHeaders {
+		dst.Del(h)
+	}
+}
+
+// statusClass buckets upstream statuses for the proxied-requests
+// counter: bounded cardinality, still diagnostic.
+func statusClass(status int) string {
+	switch status / 100 {
+	case 2:
+		return "2xx"
+	case 3:
+		return "3xx"
+	case 4:
+		return "4xx"
+	case 5:
+		return "5xx"
+	}
+	return "other"
+}

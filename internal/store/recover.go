@@ -38,6 +38,7 @@ type RecoveredState struct {
 // RecoveryStats is the healthz "last_recovery" block.
 type RecoveryStats struct {
 	Accounts        int     `json:"accounts"`
+	AccountsSkipped int     `json:"accounts_skipped,omitempty"`
 	Designs         int     `json:"designs"`
 	SnapshotsLoaded int     `json:"snapshots_loaded"`
 	RecordsReplayed int     `json:"records_replayed"`
@@ -60,6 +61,19 @@ type RecoveryStats struct {
 // Call once, after Open and before serving traffic.  Site-scope
 // replay registers user-defined equation models into reg.
 func (st *Store) Recover(reg *model.Registry) (*RecoveredState, error) {
+	return st.RecoverOwned(reg, nil)
+}
+
+// RecoverOwned is Recover restricted to a partition of the user
+// corpus: accounts for which owns returns false are skipped without
+// even opening their journals — their files stay byte-untouched (no
+// tail truncation, no snapshot rewrite), so a misconfigured shard
+// cannot damage another shard's data and a later boot with the right
+// ownership finds everything exactly as the last rightful owner left
+// it.  Skipped accounts are counted in Stats.AccountsSkipped.  The
+// site scope is always recovered (it is replicated to every shard).
+// A nil owns recovers everything.
+func (st *Store) RecoverOwned(reg *model.Registry, owns func(user string) bool) (*RecoveredState, error) {
 	start := time.Now()
 	out := &RecoveredState{Accounts: make(map[string]*Account)}
 
@@ -86,6 +100,10 @@ func (st *Store) Recover(reg *model.Registry) (*RecoveredState, error) {
 		udir := filepath.Join(usersDir, e.Name())
 		if !fileExists(filepath.Join(udir, "journal.log")) &&
 			!fileExists(filepath.Join(udir, "snapshot.json")) {
+			continue
+		}
+		if owns != nil && !owns(e.Name()) {
+			out.Stats.AccountsSkipped++
 			continue
 		}
 		names = append(names, e.Name())

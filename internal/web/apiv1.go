@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"powerplay/internal/obs"
+	"powerplay/internal/shard"
 	"powerplay/internal/store"
 )
 
@@ -67,6 +68,9 @@ func (s *Server) apiRoutes(handle func(pattern string, h http.HandlerFunc)) {
 	handle("GET /api/v1/models/{name...}", s.apiAuth(s.apiModelInfo))
 	handle("POST /api/v1/eval", s.apiAuth(s.apiEval))
 	handle("GET /api/v1/equations", s.apiAuth(s.apiEquations))
+	// Internal shard replication (router fan-out of site models; see
+	// shard.go).  Site-key guarded like the rest of the machine API.
+	handle("POST /api/v1/shard/model", s.apiAuth(s.apiShardModelPut))
 	// Probes: no site key, so load balancers and scrapers work against
 	// password-restricted sites.  Neither exposes design data.
 	handle("GET /api/v1/healthz", s.apiHealthz)
@@ -106,6 +110,16 @@ type healthDurability struct {
 	LastRecovery      *store.RecoveryStats `json:"last_recovery,omitempty"`
 }
 
+// healthShard is the shard identity block: which slice of the user
+// corpus this backend owns.  The router's healthz has its own shape
+// (role "router" plus per-backend breaker states — see
+// internal/shard).
+type healthShard struct {
+	ShardID    int    `json:"shard_id"`
+	ShardCount int    `json:"shard_count"`
+	Role       string `json:"role"`
+}
+
 // healthResponse is the GET /api/v1/healthz body: alive-ness plus the
 // one-glance numbers an operator checks first (uptime, load, cache
 // population, the state of every mounted publisher's breaker, and —
@@ -117,6 +131,7 @@ type healthResponse struct {
 	Models            int               `json:"models"`
 	ReadCacheEntries  int               `json:"read_cache_entries"`
 	SweepCacheEntries int               `json:"sweep_cache_entries"`
+	Shard             *healthShard      `json:"shard,omitempty"`
 	Remotes           []healthRemote    `json:"remotes,omitempty"`
 	Durability        *healthDurability `json:"durability,omitempty"`
 }
@@ -162,6 +177,13 @@ func (s *Server) apiHealthz(w http.ResponseWriter, r *http.Request) {
 		Models:            len(names),
 		ReadCacheEntries:  readN,
 		SweepCacheEntries: sweepN,
+	}
+	if s.cfg.ShardCount > 0 {
+		resp.Shard = &healthShard{
+			ShardID:    s.cfg.ShardID,
+			ShardCount: s.cfg.ShardCount,
+			Role:       shard.RoleBackend,
+		}
 	}
 	if s.store != nil {
 		resp.Durability = &healthDurability{

@@ -1,160 +1,30 @@
 package web
 
-import (
-	"errors"
-	"sync"
-	"time"
-)
+// The circuit breaker moved to internal/circuit when the shard router
+// (internal/shard) needed the same machinery against its backends; the
+// remote model protocol's names survive here as aliases so PR 3's
+// callers — and its tests — compile unchanged.
+
+import "powerplay/internal/circuit"
 
 // ErrCircuitOpen is returned (wrapped in ErrRemoteUnavailable) when a
 // Remote's circuit breaker is rejecting requests without trying the
 // network.
-var ErrCircuitOpen = errors.New("circuit breaker open")
+var ErrCircuitOpen = circuit.ErrOpen
+
+// Breaker is a per-site circuit breaker for the remote model protocol
+// (see circuit.Breaker for the state machine).
+type Breaker = circuit.Breaker
 
 // BreakerState enumerates the classic three circuit-breaker states.
-type BreakerState int
+type BreakerState = circuit.State
 
 // Breaker states.
 const (
 	// BreakerClosed: requests flow; failures are counted.
-	BreakerClosed BreakerState = iota
+	BreakerClosed = circuit.Closed
 	// BreakerOpen: requests fail fast until the cooldown elapses.
-	BreakerOpen
+	BreakerOpen = circuit.Open
 	// BreakerHalfOpen: one probe request at a time tests recovery.
-	BreakerHalfOpen
+	BreakerHalfOpen = circuit.HalfOpen
 )
-
-// String names the state for logs and stale-estimate notes.
-func (s BreakerState) String() string {
-	switch s {
-	case BreakerClosed:
-		return "closed"
-	case BreakerOpen:
-		return "open"
-	case BreakerHalfOpen:
-		return "half-open"
-	}
-	return "unknown"
-}
-
-// Breaker is a per-site circuit breaker for the remote model protocol.
-//
-// A run of Threshold consecutive failures trips the breaker open;
-// while open, Allow rejects immediately with ErrCircuitOpen, so a dead
-// publisher costs each sheet evaluation a map lookup instead of a
-// connect timeout.  After Cooldown the breaker admits a single probe
-// request (half-open): a success closes the circuit, a failure re-opens
-// it for another cooldown.  Concurrent probes are rejected, so a
-// recovering site sees one request, not a thundering herd.
-//
-// The zero value is a ready-to-use breaker with default settings; one
-// Breaker must not be shared across sites (its whole point is blaming
-// the right publisher).
-type Breaker struct {
-	// Threshold is the consecutive-failure count that trips the
-	// breaker; zero selects 5.
-	Threshold int
-	// Cooldown is how long the breaker stays open before probing;
-	// zero selects 10 s.
-	Cooldown time.Duration
-
-	// now replaces the clock in tests; nil uses time.Now.
-	now func() time.Time
-
-	mu       sync.Mutex
-	state    BreakerState
-	failures int
-	openedAt time.Time
-	probing  bool
-}
-
-func (b *Breaker) clock() time.Time {
-	if b.now != nil {
-		return b.now()
-	}
-	return time.Now()
-}
-
-func (b *Breaker) threshold() int {
-	if b.Threshold > 0 {
-		return b.Threshold
-	}
-	return 5
-}
-
-func (b *Breaker) cooldown() time.Duration {
-	if b.Cooldown > 0 {
-		return b.Cooldown
-	}
-	return 10 * time.Second
-}
-
-// State reports the current state (transitioning open → half-open if
-// the cooldown has elapsed).
-func (b *Breaker) State() BreakerState {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.state == BreakerOpen && b.clock().Sub(b.openedAt) >= b.cooldown() {
-		return BreakerHalfOpen
-	}
-	return b.state
-}
-
-// Allow asks permission to issue one request.  It returns nil (go
-// ahead) or ErrCircuitOpen.  Every Allow that returns nil must be
-// matched by exactly one Success or Failure call.
-func (b *Breaker) Allow() error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	switch b.state {
-	case BreakerClosed:
-		return nil
-	case BreakerOpen:
-		if b.clock().Sub(b.openedAt) < b.cooldown() {
-			return ErrCircuitOpen
-		}
-		b.state = BreakerHalfOpen
-		breakerTransitions.With("half-open").Inc()
-		b.probing = true
-		return nil
-	default: // half-open
-		if b.probing {
-			return ErrCircuitOpen
-		}
-		b.probing = true
-		return nil
-	}
-}
-
-// Success records a completed request and closes the circuit.
-func (b *Breaker) Success() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.state != BreakerClosed {
-		breakerTransitions.With("closed").Inc()
-	}
-	b.state = BreakerClosed
-	b.failures = 0
-	b.probing = false
-}
-
-// Failure records a failed request, tripping or re-opening the circuit
-// as appropriate.
-func (b *Breaker) Failure() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.probing = false
-	if b.state == BreakerHalfOpen {
-		// The probe failed: straight back to open.
-		b.state = BreakerOpen
-		b.openedAt = b.clock()
-		breakerTransitions.With("open").Inc()
-		return
-	}
-	b.failures++
-	if b.failures >= b.threshold() {
-		b.state = BreakerOpen
-		b.openedAt = b.clock()
-		breakerTransitions.With("open").Inc()
-	}
-}

@@ -36,9 +36,8 @@ var (
 		"Remote protocol re-attempts after a failed try.")
 	remoteStaleServes = obs.NewCounter("powerplay_remote_stale_serves_total",
 		"Proxy evaluations served from the last-known-good cache while the publisher was unavailable.")
-	breakerTransitions = obs.NewCounterVec("powerplay_breaker_transitions_total",
-		"Circuit breaker state transitions, by state entered (open/half-open/closed).",
-		"to")
+	// powerplay_breaker_transitions_total moved to internal/circuit with
+	// the breaker itself (PR 9); the family is registered there.
 )
 
 // failKind's outcome label for remoteAttempts.

@@ -192,10 +192,14 @@ func statusLabel(status int) string {
 		return "401"
 	case 404:
 		return "404"
+	case 421:
+		return "421"
 	case 422:
 		return "422"
 	case 500:
 		return "500"
+	case 502:
+		return "502"
 	case 503:
 		return "503"
 	}

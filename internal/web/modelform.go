@@ -97,51 +97,74 @@ func (s *Server) handleModelCreate(w http.ResponseWriter, r *http.Request, u *Us
 		w.WriteHeader(http.StatusBadRequest)
 		s.render(w, "modelform", page)
 	}
-	params, err := parseParamLines(page.ParamsField)
+	q, err := equationFromForm(r)
 	if err != nil {
 		fail(err)
 		return
 	}
-	q := &library.Equation{
-		Name:    page.Name,
-		Title:   page.TitleField,
-		Class:   strings.TrimSpace(r.FormValue("class")),
-		Doc:     page.DocField,
-		Params:  params,
-		Csw:     page.Csw,
-		Vswing:  page.Vswing,
-		Istatic: page.Istatic,
-		Area:    page.AreaField,
-		Delay:   page.Delay,
-		Freq:    page.Freq,
-	}
-	if q.Name == "" {
-		fail(fmt.Errorf("the model needs a name"))
-		return
-	}
-	// Editing an existing user model is allowed; overwriting a built-in
-	// is not.
-	if existing, exists := s.registry.Lookup(q.Name); exists {
-		if _, isEquation := existing.(*library.Equation); !isEquation {
-			fail(fmt.Errorf("%q is a built-in library element", q.Name))
-			return
-		}
-	}
-	if err := q.Compile(); err != nil {
+	if err := s.checkModelOverwrite(q.Name); err != nil {
 		fail(err)
 		return
+	}
+	if err := s.persistSiteModel(q); err != nil {
+		fail(err)
+		return
+	}
+	http.Redirect(w, r, "/doc/"+q.Name, http.StatusSeeOther)
+}
+
+// equationFromForm builds an Equation from the model-definition form's
+// fields.  Shared by the interactive page and the shard replication
+// endpoint (internal/web/shard.go), which both accept the same POST.
+func equationFromForm(r *http.Request) (*library.Equation, error) {
+	params, err := parseParamLines(r.FormValue("params"))
+	if err != nil {
+		return nil, err
+	}
+	q := &library.Equation{
+		Name:    strings.TrimSpace(r.FormValue("name")),
+		Title:   strings.TrimSpace(r.FormValue("title")),
+		Class:   strings.TrimSpace(r.FormValue("class")),
+		Doc:     strings.TrimSpace(r.FormValue("doc")),
+		Params:  params,
+		Csw:     strings.TrimSpace(r.FormValue("csw")),
+		Vswing:  strings.TrimSpace(r.FormValue("vswing")),
+		Istatic: strings.TrimSpace(r.FormValue("istatic")),
+		Area:    strings.TrimSpace(r.FormValue("area")),
+		Delay:   strings.TrimSpace(r.FormValue("delay")),
+		Freq:    strings.TrimSpace(r.FormValue("freq")),
+	}
+	if q.Name == "" {
+		return nil, fmt.Errorf("the model needs a name")
+	}
+	return q, nil
+}
+
+// checkModelOverwrite enforces the overwrite rule: editing an existing
+// user model is allowed, overwriting a built-in is not.
+func (s *Server) checkModelOverwrite(name string) error {
+	if existing, exists := s.registry.Lookup(name); exists {
+		if _, isEquation := existing.(*library.Equation); !isEquation {
+			return fmt.Errorf("%q is a built-in library element", name)
+		}
+	}
+	return nil
+}
+
+// persistSiteModel compiles, sanity-evaluates, registers, and journals
+// a site model.  Journal replay re-compiles and re-registers it before
+// any design that prices through it.
+func (s *Server) persistSiteModel(q *library.Equation) error {
+	if err := q.Compile(); err != nil {
+		return err
 	}
 	// The model must evaluate at its own defaults before being shared.
 	if _, err := model.Evaluate(q, nil); err != nil {
-		fail(fmt.Errorf("model does not evaluate at its defaults: %w", err))
-		return
+		return fmt.Errorf("model does not evaluate at its defaults: %w", err)
 	}
 	if err := s.registry.Register(q); err != nil {
-		fail(err)
-		return
+		return err
 	}
-	// Journal the full definition in the site scope: replay re-compiles
-	// and re-registers it before any design that prices through it.
 	blob, err := json.Marshal(q)
 	if err == nil {
 		var lag int
@@ -149,10 +172,9 @@ func (s *Server) handleModelCreate(w http.ResponseWriter, r *http.Request, u *Us
 		s.maybeSnapshotSite(lag)
 	}
 	if err != nil {
-		fail(fmt.Errorf("persisting model: %w", err))
-		return
+		return fmt.Errorf("persisting model: %w", err)
 	}
-	http.Redirect(w, r, "/doc/"+q.Name, http.StatusSeeOther)
+	return nil
 }
 
 // parseParamLines reads the textarea format: one parameter per line,

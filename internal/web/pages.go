@@ -8,6 +8,7 @@ import (
 
 	"powerplay/internal/core/model"
 	"powerplay/internal/core/sheet"
+	"powerplay/internal/shard"
 	"powerplay/internal/store"
 	"powerplay/internal/units"
 )
@@ -56,12 +57,24 @@ func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
 		fail("wrong site password")
 		return
 	}
-	token, err := s.login(r.FormValue("user"))
+	name := r.FormValue("user")
+	// On a sharded backend, a login for a user another shard owns is a
+	// routing mistake, not a bad credential: answer the ShardRedirect
+	// so the router re-routes to the owner.
+	if s.ring != nil && validUserName(name) && !s.Owns(name) {
+		s.shardRedirect(w, r, name)
+		return
+	}
+	token, err := s.login(name)
 	if err != nil {
 		fail(err.Error())
 		return
 	}
 	http.SetCookie(w, &http.Cookie{Name: sessionCookie, Value: token, Path: "/", HttpOnly: true})
+	// The routing cookie: the bare user name, readable by the shard
+	// router so it can route without session state.  Deliberately not
+	// HttpOnly-sensitive — it holds nothing the user did not type.
+	http.SetCookie(w, &http.Cookie{Name: shard.UserCookie, Value: name, Path: "/"})
 	http.Redirect(w, r, "/menu", http.StatusSeeOther)
 }
 
@@ -72,6 +85,7 @@ func (s *Server) handleLogout(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 	}
 	http.SetCookie(w, &http.Cookie{Name: sessionCookie, Value: "", Path: "/", MaxAge: -1})
+	http.SetCookie(w, &http.Cookie{Name: shard.UserCookie, Value: "", Path: "/", MaxAge: -1})
 	http.Redirect(w, r, "/", http.StatusSeeOther)
 }
 

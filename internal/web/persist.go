@@ -40,7 +40,14 @@ func (s *Server) openStore() error {
 	if err != nil {
 		return err
 	}
-	recovered, err := st.Recover(s.registry)
+	// On a sharded backend, recover only this shard's partition:
+	// foreign journals are left byte-untouched, and boot replay costs
+	// ~1/N of the corpus instead of all of it.
+	var owns func(string) bool
+	if s.ring != nil {
+		owns = s.Owns
+	}
+	recovered, err := st.RecoverOwned(s.registry, owns)
 	if err != nil {
 		st.Close()
 		return fmt.Errorf("web: recovering %s: %w", s.cfg.DataDir, err)

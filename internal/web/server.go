@@ -37,6 +37,7 @@ import (
 	"powerplay/internal/core/model"
 	"powerplay/internal/core/sheet"
 	"powerplay/internal/library"
+	"powerplay/internal/shard"
 	"powerplay/internal/store"
 )
 
@@ -92,6 +93,14 @@ type Config struct {
 	// folds the journal into a snapshot; zero selects the store's
 	// default (512 records).
 	SnapshotEvery int
+	// ShardID and ShardCount make this server one backend of a sharded
+	// fleet (see internal/shard): it owns only the users the rendezvous
+	// hash assigns to shard ShardID of ShardCount, recovers only their
+	// journals at boot, and answers requests for anyone else with a 421
+	// ShardRedirect naming the owner.  ShardCount zero (the default)
+	// disables sharding entirely; when set, 0 <= ShardID < ShardCount.
+	ShardID    int
+	ShardCount int
 }
 
 // User is one identified user's server-side state.
@@ -141,6 +150,11 @@ type Server struct {
 	// started timestamps server construction for the healthz uptime.
 	started time.Time
 
+	// ring is the rendezvous hash over the fleet's canonical member
+	// names, nil on an unsharded server (see shard.go).  Immutable
+	// after NewServer.
+	ring *shard.Ring
+
 	// store is the durability layer (nil without a DataDir): the
 	// per-user mutation journals and snapshots every mutating handler
 	// writes through (see persist.go).
@@ -170,6 +184,9 @@ func NewServer(cfg Config, reg *model.Registry) (*Server, error) {
 	if cfg.SiteName == "" {
 		cfg.SiteName = "PowerPlay"
 	}
+	if cfg.ShardCount < 0 || (cfg.ShardCount > 0 && (cfg.ShardID < 0 || cfg.ShardID >= cfg.ShardCount)) {
+		return nil, fmt.Errorf("web: shard id %d not in 0..%d", cfg.ShardID, cfg.ShardCount-1)
+	}
 	s := &Server{
 		cfg:         cfg,
 		registry:    reg,
@@ -178,6 +195,11 @@ func NewServer(cfg Config, reg *model.Registry) (*Server, error) {
 		sweepCaches: newLRU[*sweepCacheEntry](cfg.cacheEntries()),
 		readCaches:  newLRU[*readEntry](cfg.cacheEntries()),
 		started:     time.Now(),
+	}
+	if cfg.ShardCount > 0 {
+		// Built before openStore: recovery filters the on-disk user
+		// partition through the same ring the request path uses.
+		s.ring = shard.NewRing(shard.Members(cfg.ShardCount))
 	}
 	if cfg.DataDir != "" {
 		if err := s.openStore(); err != nil {
@@ -239,6 +261,10 @@ func (s *Server) InstallDesign(userName string, d *sheet.Design) error {
 	}
 	if !validUserName(d.Name) {
 		return fmt.Errorf("web: design name %q not addressable in URLs", d.Name)
+	}
+	if !s.Owns(userName) {
+		return fmt.Errorf("web: user %s belongs to shard %d, not this backend (shard %d)",
+			userName, s.ring.Pick(userName), s.cfg.ShardID)
 	}
 	s.mu.Lock()
 	u, ok := s.users[userName]
@@ -311,6 +337,9 @@ func (s *Server) Handler() http.Handler {
 	// deeper log line and error envelope can carry one), then the body
 	// cap, then the per-request deadline.
 	var h http.Handler = mux
+	if s.cfg.ShardCount > 0 {
+		h = shardHeaderMiddleware(h, s.shardID())
+	}
 	if d := s.requestTimeout(); d > 0 {
 		h = timeoutMiddleware(h, d)
 	}
@@ -378,6 +407,12 @@ func (s *Server) currentUser(r *http.Request) *User {
 // page, since WWW browsers do not supply user names.
 func (s *Server) auth(h func(http.ResponseWriter, *http.Request, *User)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		// Sharded fleets first: a request routed here for a user another
+		// backend owns gets the ShardRedirect, not a login bounce —
+		// the router heals on the 421, a login bounce would loop.
+		if s.misdirected(w, r) {
+			return
+		}
 		u := s.currentUser(r)
 		if u == nil {
 			http.Redirect(w, r, "/", http.StatusSeeOther)
