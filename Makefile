@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench benchserve bench-batch bench-incremental metrics-smoke faultsim crashsim shardsim repro examples libdoc clean
+.PHONY: all build test vet race bench benchserve bench-batch bench-incremental metrics-smoke faultsim crashsim shardsim federationsim repro examples libdoc clean
 
 all: build vet test
 
@@ -68,6 +68,14 @@ crashsim:
 # serving its partition byte-identically (see DESIGN.md "Sharding").
 shardsim:
 	POWERPLAY_SHARDSIM=1 $(GO) test -run 'TestShardSim' -v ./cmd/powerplay/
+
+# The federation simulator: build the real binary, run a publisher and
+# a subscribed mirror, kill -9 the mirror mid-sync and the publisher
+# outright — the restarted mirror must serve every mirrored model from
+# its journal, converge on missed publications, and keep serving with
+# the publisher dead (see DESIGN.md "Federation").
+federationsim:
+	POWERPLAY_FEDSIM=1 $(GO) test -run 'TestFedSim' -v ./cmd/powerplay/
 
 # Regenerate every figure, table and ablation from the paper.
 repro:

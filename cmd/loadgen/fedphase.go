@@ -1,0 +1,161 @@
+package main
+
+// The federation phase: a mirror subscribes to a publisher's registry,
+// the publisher is killed, and the phase measures eval latency on the
+// mirrored models against a locally-published baseline.  Mirrored
+// publications are local registrations — the headline claim is that a
+// dead publisher costs the mirror *nothing*: same latency as local
+// models, no stale-estimate notes, zero remote round-trips.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"powerplay/internal/library"
+	"powerplay/internal/web"
+)
+
+// federationReport is the BENCH_SERVE.json "federation" block.
+type federationReport struct {
+	MirroredModels int     `json:"mirrored_models"`
+	EvalsPerSide   int     `json:"evals_per_side"`
+	LocalP50Us     float64 `json:"local_p50_us"`
+	LocalP99Us     float64 `json:"local_p99_us"`
+	// Latency evaluating mirrored models with the publisher dead.
+	MirroredDeadP50Us float64 `json:"mirrored_dead_p50_us"`
+	MirroredDeadP99Us float64 `json:"mirrored_dead_p99_us"`
+	// MirroredDeadP50Us / LocalP50Us: ~1.0 is the design goal — a dead
+	// publisher does not slow the mirror down.
+	LatencyRatioP50 float64 `json:"latency_ratio_p50"`
+	// Publisher HTTP requests observed during the dead-publisher eval
+	// burst.  Must be 0: mirrored evals never leave the process.
+	RemoteRoundTrips int64 `json:"remote_round_trips"`
+	StaleNotes       int   `json:"stale_notes"`
+}
+
+const fedBenchModels = 4
+
+// runFederationPhase builds a publisher and a subscribed mirror
+// in-process, kills the publisher, and measures.
+func runFederationPhase(evals int) federationReport {
+	rep := federationReport{MirroredModels: fedBenchModels, EvalsPerSide: evals}
+
+	// Publisher with a request counter in front: the dead-phase
+	// round-trip assertion reads this counter.
+	pub, err := web.NewServer(web.Config{SiteName: "pub"}, library.Standard())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pubRequests atomic.Int64
+	pubTS := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		pubRequests.Add(1)
+		pub.Handler().ServeHTTP(w, r)
+	}))
+	for i := 0; i < fedBenchModels; i++ {
+		fedPublish(pubTS.URL, fmt.Sprintf("bench.cell%d", i))
+	}
+
+	// Mirror: hour-long poll period, so the only publisher contact is
+	// the first sync inside Subscribe — nothing races the measurement.
+	mir, err := web.NewServer(web.Config{SiteName: "mir", SyncInterval: time.Hour}, library.Standard())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mir.Close()
+	st, err := mir.Subscribe(pubTS.URL, "fed.", "")
+	if err != nil {
+		log.Fatalf("federation phase: subscribe: %v", err)
+	}
+	if st.Applied != fedBenchModels || st.LastError != "" {
+		log.Fatalf("federation phase: first sync applied %d (want %d), err %q",
+			st.Applied, fedBenchModels, st.LastError)
+	}
+	mirTS := httptest.NewServer(mir.Handler())
+	defer mirTS.Close()
+
+	// Local baseline: the same equation shape published directly on the
+	// mirror, so both sides price identical work.
+	fedPublish(mirTS.URL, "localbench.cell")
+	rep.LocalP50Us, rep.LocalP99Us, _ = fedEvalBurst(mirTS.URL, []string{"localbench.cell"}, evals)
+
+	// Kill the publisher, then hammer the mirrored models.
+	pubTS.Close()
+	before := pubRequests.Load()
+	names := make([]string, fedBenchModels)
+	for i := range names {
+		names[i] = fmt.Sprintf("fed.bench.cell%d", i)
+	}
+	var stale int
+	rep.MirroredDeadP50Us, rep.MirroredDeadP99Us, stale = fedEvalBurst(mirTS.URL, names, evals)
+	rep.StaleNotes = stale
+	rep.RemoteRoundTrips = pubRequests.Load() - before
+	if rep.LocalP50Us > 0 {
+		rep.LatencyRatioP50 = rep.MirroredDeadP50Us / rep.LocalP50Us
+	}
+	if rep.RemoteRoundTrips != 0 {
+		log.Fatalf("federation phase: %d remote round-trips with the publisher dead, want 0", rep.RemoteRoundTrips)
+	}
+	if rep.StaleNotes != 0 {
+		log.Fatalf("federation phase: %d stale-estimate notes on mirrored evals, want 0", rep.StaleNotes)
+	}
+	return rep
+}
+
+// fedPublish publishes a trivial equation via POST /api/v1/models.
+func fedPublish(base, name string) {
+	blob := fmt.Sprintf(`{"name":%q,"title":"federation bench cell","class":"computation","csw":"2e-12"}`, name)
+	resp, err := http.Post(base+"/api/v1/models", "application/json", strings.NewReader(blob))
+	if err != nil {
+		log.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		log.Fatalf("federation phase: publish %s: %s", name, resp.Status)
+	}
+}
+
+// fedEvalBurst POSTs evals round-robin over names and returns latency
+// percentiles plus the count of stale-estimate notes seen.
+func fedEvalBurst(base string, names []string, n int) (p50, p99 float64, stale int) {
+	c := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4, DisableCompression: true}}
+	lats := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		blob := fmt.Sprintf(`{"model":%q,"params":{}}`, names[i%len(names)])
+		t0 := time.Now()
+		resp, err := c.Post(base+"/api/v1/eval", "application/json", strings.NewReader(blob))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var est struct {
+			Notes []string `json:"notes"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&est); err != nil {
+			log.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		lats = append(lats, time.Since(t0))
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("federation phase: eval %s: %s", names[i%len(names)], resp.Status)
+		}
+		for _, note := range est.Notes {
+			if strings.Contains(note, "stale") {
+				stale++
+			}
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		return float64(lats[int(p*float64(len(lats)-1))].Microseconds())
+	}
+	return pct(0.50), pct(0.99), stale
+}

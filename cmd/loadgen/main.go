@@ -66,8 +66,9 @@ type report struct {
 	Phases        []phaseReport   `json:"phases"`
 	SpeedupGet    float64         `json:"speedup_cached_get"`
 	SpeedupRevali float64         `json:"speedup_conditional_get"`
-	Recovery      *recoveryReport `json:"recovery,omitempty"`
-	Shard         *shardReport    `json:"shard,omitempty"`
+	Recovery      *recoveryReport   `json:"recovery,omitempty"`
+	Shard         *shardReport      `json:"shard,omitempty"`
+	Federation    *federationReport `json:"federation,omitempty"`
 }
 
 // recoveryReport is the crash-recovery phase: a durable site takes a
@@ -147,6 +148,11 @@ func main() {
 	rep.Shard = &sh
 	fmt.Printf("%-22s %8.0f req/s (N=1)  %8.0f req/s (N=4)   %.2fx   efficiency %.2f\n",
 		"shard-scaling", sh.RPSN1, sh.RPSN4, sh.Speedup, sh.ScalingEfficiency)
+
+	fed := runFederationPhase(*perClient)
+	rep.Federation = &fed
+	fmt.Printf("%-22s local p50 %5.0f µs   publisher-dead p50 %5.0f µs   ratio %.2f   round-trips %d\n",
+		"federation", fed.LocalP50Us, fed.MirroredDeadP50Us, fed.LatencyRatioP50, fed.RemoteRoundTrips)
 
 	rep.SpeedupGet = hot.RPS / base.RPS
 	rep.SpeedupRevali = reval.RPS / base.RPS

@@ -1,0 +1,231 @@
+package main
+
+// The federation simulator: build the real binary, run a publisher and
+// a mirror subscribed to it, and kill -9 the mirror mid-sync — then
+// assert the restarted mirror serves every mirrored model immediately
+// from its journal (no refetch), converges on what it missed, and keeps
+// serving at full speed after the publisher itself is killed.
+//
+// Process-level and slow, so gated: POWERPLAY_FEDSIM=1 go test
+// -run TestFedSim ./cmd/powerplay/ (or `make federationsim`).
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestFedSim(t *testing.T) {
+	if os.Getenv("POWERPLAY_FEDSIM") == "" {
+		t.Skip("set POWERPLAY_FEDSIM=1 to run the kill -9 federation simulator")
+	}
+	bin := filepath.Join(t.TempDir(), "powerplay")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building powerplay: %v\n%s", err, out)
+	}
+	pubDir, mirDir := t.TempDir(), t.TempDir()
+
+	// Publisher: a plain durable site with three published models.
+	pub, pubBase := startFed(t, bin, "-addr", "127.0.0.1:0", "-data", pubDir, "-durability", "always")
+	defer func() { pub.Process.Signal(syscall.SIGKILL); pub.Wait() }()
+	for _, m := range []string{"fed.lib.a", "fed.lib.b", "fed.lib.c"} {
+		fedPublish(t, pubBase, m)
+	}
+	pubCat := fetchRegistry(t, pubBase)
+	if len(pubCat.Models) != 3 {
+		t.Fatalf("publisher catalog has %d models, want 3", len(pubCat.Models))
+	}
+	// The immutable body of the first publication: the restarted,
+	// orphaned mirror must serve these exact bytes at the end.
+	wantBody := fetchBody(t, pubBase, "fed.lib.a", pubCat.Models[0].Digest)
+
+	// Mirror: subscribes with a short poll period so a sync pass is
+	// nearly always in flight when the SIGKILL lands.
+	mirArgs := []string{"-addr", "127.0.0.1:0", "-data", mirDir, "-durability", "always",
+		"-subscribe", pubBase + "=pub.", "-sync-interval", "100ms"}
+	mir, mirBase := startFed(t, bin, mirArgs...)
+	waitMirrored(t, mirBase, 3)
+
+	// New publication, then kill -9 the mirror while its poll loop is
+	// live.  Whatever it journaled is durable; fed.lib.d may or may not
+	// have landed — the restart must converge either way.
+	fedPublish(t, pubBase, "fed.lib.d")
+	time.Sleep(50 * time.Millisecond)
+	if err := mir.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	mir.Wait()
+
+	// Restart over the same directory with the same flags.  The
+	// subscription resumes from the journal; the already-mirrored
+	// models must be servable before any publisher round-trip.
+	mir, mirBase = startFed(t, bin, mirArgs...)
+	defer func() { mir.Process.Signal(syscall.SIGKILL); mir.Wait() }()
+	if got := fedEval(t, mirBase, "pub.fed.lib.a"); got != http.StatusOK {
+		t.Fatalf("restarted mirror eval pub.fed.lib.a: status %d, want 200", got)
+	}
+	waitMirrored(t, mirBase, 4) // converges on fed.lib.d
+
+	// Orphan the mirror: kill the publisher outright.  Mirrored models
+	// are local registrations, so everything keeps working.
+	if err := pub.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	pub.Wait()
+	cat := fetchRegistry(t, mirBase)
+	byName := map[string]string{}
+	for _, m := range cat.Models {
+		byName[m.Name] = m.Digest
+		if m.Origin != pubBase {
+			t.Fatalf("mirrored %s has origin %q, want %q", m.Name, m.Origin, pubBase)
+		}
+	}
+	// Content addressing is name-independent: the mirror's digest for
+	// pub.fed.lib.a must equal the publisher's for fed.lib.a.
+	if byName["pub.fed.lib.a"] != pubCat.Models[0].Digest {
+		t.Fatalf("digest drift: mirror %q, publisher %q", byName["pub.fed.lib.a"], pubCat.Models[0].Digest)
+	}
+	if got := fedEval(t, mirBase, "pub.fed.lib.d"); got != http.StatusOK {
+		t.Fatalf("orphaned mirror eval pub.fed.lib.d: status %d, want 200", got)
+	}
+	// Mirror-of-a-mirror: the orphaned mirror serves the publication
+	// body onward, byte-identical to the dead publisher's.
+	gotBody := fetchBody(t, mirBase, "pub.fed.lib.a", byName["pub.fed.lib.a"])
+	if !bytes.Equal(gotBody, wantBody) {
+		t.Fatalf("mirrored body differs from publisher's (%d vs %d bytes)", len(gotBody), len(wantBody))
+	}
+}
+
+// startFed launches the binary with the given flags, waits for its
+// "listening" log line, and returns the process plus base URL.
+func startFed(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	urlRe := regexp.MustCompile(`url=(http://\S+)`)
+	lines := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if m := urlRe.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case lines <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case base := <-lines:
+		return cmd, strings.TrimSuffix(base, `"`)
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("server never logged its listening URL")
+		return nil, ""
+	}
+}
+
+// fedPublish publishes a trivial equation model via POST /api/v1/models.
+func fedPublish(t *testing.T, base, name string) {
+	t.Helper()
+	blob := fmt.Sprintf(`{"name":%q,"title":"federation sim cell","class":"computation","csw":"2e-12"}`, name)
+	resp, err := http.Post(base+"/api/v1/models", "application/json", strings.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("publish %s: %s %s", name, resp.Status, body)
+	}
+}
+
+// fedRegistry mirrors the GET /api/v1/registry fields the sim checks.
+type fedRegistry struct {
+	Models []struct {
+		Name   string `json:"name"`
+		Digest string `json:"digest"`
+		Origin string `json:"origin"`
+	} `json:"models"`
+}
+
+func fetchRegistry(t *testing.T, base string) fedRegistry {
+	t.Helper()
+	resp, err := http.Get(base + "/api/v1/registry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out fedRegistry
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("registry: %s", resp.Status)
+	}
+	return out
+}
+
+// waitMirrored polls the mirror's registry until n models are present.
+func waitMirrored(t *testing.T, base string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if got := len(fetchRegistry(t, base).Models); got >= n {
+			if got > n {
+				t.Fatalf("mirror has %d models, want %d", got, n)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("mirror never reached %d models", n)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// fedEval POSTs an evaluation of name with default parameters and
+// returns the status code.
+func fedEval(t *testing.T, base, name string) int {
+	t.Helper()
+	blob := fmt.Sprintf(`{"model":%q,"params":{}}`, name)
+	resp, err := http.Post(base+"/api/v1/eval", "application/json", strings.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// fetchBody GETs the immutable versioned publication body.
+func fetchBody(t *testing.T, base, name, digest string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/api/v1/registry/models/" + name + "@" + digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("versioned body %s@%s: %s", name, digest, resp.Status)
+	}
+	return body
+}

@@ -62,7 +62,10 @@ func main() {
 	shardCount := flag.Int("shard-count", 0, "total shards in the fleet (0 = unsharded); router mode: hash width (0 = backend count)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "router mode: per-backend circuit-breaker cooldown (0 = 10s default)")
 	var mounts multiFlag
-	flag.Var(&mounts, "mount", "remote library to mount, url=prefix (repeatable)")
+	flag.Var(&mounts, "mount", "remote library to proxy-mount, url=prefix (repeatable)")
+	var subscribes multiFlag
+	flag.Var(&subscribes, "subscribe", "remote registry to mirror, url=prefix[=filter] (repeatable)")
+	syncInterval := flag.Duration("sync-interval", 0, "mirror subscription poll period (0 = 5s default)")
 	flag.Parse()
 
 	if err := setupLogging(*logLevel, *logJSON); err != nil {
@@ -94,15 +97,70 @@ func main() {
 		flagMounts[prefix] = url
 	}
 
+	// Parse -subscribe specs with the same up-front strictness.
+	type subSpec struct{ url, prefix, filter string }
+	var flagSubs []subSpec
+	subPrefixes := make(map[string]bool, len(subscribes))
+	for _, sp := range subscribes {
+		parts := strings.SplitN(sp, "=", 3)
+		if len(parts) < 2 || parts[0] == "" || parts[1] == "" {
+			fatal("-subscribe wants url=prefix[=filter]", "got", sp)
+		}
+		s := subSpec{url: parts[0], prefix: parts[1]}
+		if len(parts) == 3 {
+			s.filter = parts[2]
+		}
+		if subPrefixes[s.prefix] {
+			continue
+		}
+		subPrefixes[s.prefix] = true
+		flagSubs = append(flagSubs, s)
+	}
+
 	reg := library.Standard()
 	srv, err := web.NewServer(web.Config{
 		SiteName: *siteName, DataDir: *data, Password: *password,
 		SweepTimeout: *sweepTimeout, SweepChunk: *sweepChunk, CacheEntries: *cacheLimit,
 		DisableIncremental: !*incremental, Durability: *durability,
-		ShardID: *shardID, ShardCount: *shardCount,
+		SyncInterval: *syncInterval,
+		ShardID:      *shardID, ShardCount: *shardCount,
 	}, reg)
 	if err != nil {
 		fatal("server setup failed", "err", err)
+	}
+	// Resume the subscriptions the pre-crash site had.  Their mirrored
+	// models were already re-registered from the journal, so this never
+	// blocks on (or even contacts) a publisher — it just restarts the
+	// poll loops.
+	resumed := srv.ResumeSubscriptions()
+	if len(resumed) > 0 {
+		slog.Info("resumed repository subscriptions", "count", len(resumed))
+	}
+	// Fresh -subscribe flags: the first sync runs synchronously but its
+	// failure is not fatal — the mirror converges when the publisher
+	// answers.  Only an unusable spec (duplicate prefix, empty URL)
+	// stops the boot.  A recovered subscription on the same prefix
+	// already covers the flag.
+	resumedSet := make(map[string]bool, len(resumed))
+	for _, p := range resumed {
+		resumedSet[p] = true
+	}
+	for _, sp := range flagSubs {
+		if resumedSet[sp.prefix] {
+			slog.Info("subscription already resumed from the journal", "prefix", sp.prefix)
+			continue
+		}
+		st, err := srv.Subscribe(sp.url, sp.prefix, sp.filter)
+		if err != nil {
+			fatal("subscribing to remote registry failed", "url", sp.url, "prefix", sp.prefix, "err", err)
+		}
+		if st.LastError != "" {
+			slog.Warn("first mirror sync incomplete; the poll loop will converge",
+				"url", sp.url, "prefix", sp.prefix, "err", st.LastError)
+		} else {
+			slog.Info("mirroring remote registry", "models", st.Applied+st.Unchanged,
+				"url", sp.url, "prefix", sp.prefix)
+		}
 	}
 	// Re-mount what the pre-crash site had mounted — best-effort, so an
 	// unreachable publisher degrades the boot instead of blocking it.

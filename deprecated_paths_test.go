@@ -1,0 +1,63 @@
+package powerplay
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestNoInternalCallersOfDeprecatedPaths is the deprecation gate: the
+// unversioned /api/... aliases exist only for external consumers that
+// predate /api/v1.  No code in this repository may *call* them — every
+// internal client speaks the versioned surface — so the aliases can be
+// removed at their announced Sunset date without touching anything
+// here.  The only permitted occurrences are the alias registrations
+// themselves (internal/web/apiv1.go) and tests, which must keep
+// exercising the aliases until they are gone.
+func TestNoInternalCallersOfDeprecatedPaths(t *testing.T) {
+	// A deprecated call site is a string literal beginning with one of
+	// the alias paths.  Prose mentions ("see /api/eval") don't match;
+	// "/api/v1/..." doesn't either.
+	deprecated := regexp.MustCompile(`"/api/(models|eval|equations)`)
+	allow := map[string]bool{
+		"internal/web/apiv1.go": true, // the alias registrations
+	}
+	var offenders []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		if allow[filepath.ToSlash(path)] {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			if deprecated.MatchString(line) {
+				offenders = append(offenders, path+":"+strconv.Itoa(i+1)+": "+strings.TrimSpace(line))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range offenders {
+		t.Errorf("deprecated /api alias used by internal code (move to /api/v1): %s", o)
+	}
+}

@@ -1,0 +1,128 @@
+// Package repo is the federated model repository's core: content
+// addressing for model publications and the background sync engine
+// that mirrors another site's catalog into the local one.
+//
+// The paper's Figures 6-7 share libraries as a live proxy: every
+// evaluation of a mounted model rides on the publisher being reachable
+// right now.  A repository changes the unit of sharing from "a wire
+// you can call" to "a document you can copy": publishing a model
+// produces an immutable, content-addressed *publication* — the
+// canonical JSON encoding of its schema and equations, named by the
+// truncated SHA-256 of those bytes — and mirrors copy publications
+// instead of proxying calls.  Paine's component-repository argument
+// (see PAPERS.md) is the direct model: a shared library lives or dies
+// on stable, versioned publication.
+//
+// This package deliberately knows nothing about HTTP or the web
+// server.  The digest half (this file) defines the canonical encoding
+// and the digest; the sync half (sync.go) drives any Source toward any
+// Sink.  The web layer supplies both ends.
+package repo
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+
+	"powerplay/internal/library"
+)
+
+// Canonical rewrites one JSON document into its canonical form: object
+// keys sorted, no insignificant whitespace, numbers normalized through
+// float64.  Two documents that differ only in key order or number
+// spelling ("1.0" vs "1") canonicalize to identical bytes, so the
+// digest below is a function of *content*, never of the serializer
+// that happened to produce the wire bytes.  Canonical is idempotent:
+// Canonical(Canonical(x)) == Canonical(x).
+func Canonical(blob []byte) ([]byte, error) {
+	var v any
+	dec := json.NewDecoder(bytes.NewReader(blob))
+	if err := dec.Decode(&v); err != nil {
+		return nil, fmt.Errorf("repo: non-JSON publication body: %w", err)
+	}
+	// encoding/json marshals map keys sorted and emits no extra
+	// whitespace: exactly the canonical form.
+	out, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("repo: re-encoding publication body: %w", err)
+	}
+	return out, nil
+}
+
+// Digest names canonical content: the first 16 bytes of its SHA-256,
+// in hex (32 characters).  Callers must canonicalize first — the
+// digest of non-canonical bytes names those bytes, not the content.
+func Digest(canonical []byte) string {
+	sum := sha256.Sum256(canonical)
+	return fmt.Sprintf("%x", sum[:16])
+}
+
+// publicationContent is the digested view of an equation model: its
+// schema and equations, *excluding the local name*.  Names are
+// site-local (a mirror registers "lib.sram" for the publisher's
+// "sram"); content is universal.  Leaving the name out means the same
+// model carries the same digest at the publisher, at a mirror, and at
+// a mirror of that mirror — the property that makes mirror-chains
+// serve byte-identical versioned bodies.
+type publicationContent struct {
+	Title   string                  `json:"title,omitempty"`
+	Class   string                  `json:"class,omitempty"`
+	Doc     string                  `json:"doc,omitempty"`
+	Params  []library.EquationParam `json:"params,omitempty"`
+	Csw     string                  `json:"csw,omitempty"`
+	Vswing  string                  `json:"vswing,omitempty"`
+	Istatic string                  `json:"istatic,omitempty"`
+	Area    string                  `json:"area,omitempty"`
+	Delay   string                  `json:"delay,omitempty"`
+	Freq    string                  `json:"freq,omitempty"`
+}
+
+// BodyOf builds one model's publication: the canonical content bytes
+// (the immutable versioned body the registry serves) and their digest.
+func BodyOf(q *library.Equation) (body []byte, digest string, err error) {
+	raw, err := json.Marshal(publicationContent{
+		Title: q.Title, Class: q.Class, Doc: q.Doc, Params: q.Params,
+		Csw: q.Csw, Vswing: q.Vswing, Istatic: q.Istatic,
+		Area: q.Area, Delay: q.Delay, Freq: q.Freq,
+	})
+	if err != nil {
+		return nil, "", fmt.Errorf("repo: encoding publication of %q: %w", q.Name, err)
+	}
+	body, err = Canonical(raw)
+	if err != nil {
+		return nil, "", err
+	}
+	return body, Digest(body), nil
+}
+
+// ParseBody decodes a publication body back into an equation model
+// registered under localName, compiling it so it is ready to price
+// designs.  The body's digest is unchanged by the round trip: BodyOf
+// of the parsed model reproduces the input bytes.
+func ParseBody(localName string, body []byte) (*library.Equation, error) {
+	var q library.Equation
+	if err := json.Unmarshal(body, &q); err != nil {
+		return nil, fmt.Errorf("repo: bad publication body for %q: %w", localName, err)
+	}
+	q.Name = localName
+	if err := q.Compile(); err != nil {
+		return nil, fmt.Errorf("repo: publication %q does not compile: %w", localName, err)
+	}
+	return &q, nil
+}
+
+// Ref spells the versioned reference of a publication: "name@digest",
+// the path segment under /api/v1/registry/models/.
+func Ref(name, digest string) string { return name + "@" + digest }
+
+// SplitRef splits a versioned reference.  The digest is everything
+// after the last "@", so names containing "@" (which the registry does
+// not produce, but a URL can carry) still split deterministically.
+func SplitRef(ref string) (name, digest string, ok bool) {
+	i := bytes.LastIndexByte([]byte(ref), '@')
+	if i <= 0 || i == len(ref)-1 {
+		return "", "", false
+	}
+	return ref[:i], ref[i+1:], true
+}

@@ -1,0 +1,208 @@
+package repo
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"powerplay/internal/library"
+)
+
+func testEquation() *library.Equation {
+	return &library.Equation{
+		Name:  "lib.mult",
+		Title: "Array multiplier",
+		Class: "computation",
+		Doc:   "booth-encoded array",
+		Params: []library.EquationParam{
+			{Name: "n", Default: 16, Min: 4, Max: 64, Integer: true},
+			{Name: "act", Default: 0.5, Min: 0, Max: 1},
+		},
+		Csw:   "1e-12 * n * n * act",
+		Area:  "4e-9 * n * n",
+		Delay: "1e-9 * n",
+	}
+}
+
+func TestDigestExcludesName(t *testing.T) {
+	q := testEquation()
+	body1, d1, err := BodyOf(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renamed := *q
+	renamed.Name = "mirror.of.a.mirror.mult"
+	body2, d2, err := BodyOf(&renamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("digest depends on local name: %s vs %s", d1, d2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("body depends on local name:\n%s\n%s", body1, body2)
+	}
+	if len(d1) != 32 {
+		t.Fatalf("digest %q: want 32 hex chars", d1)
+	}
+	if strings.Contains(string(body1), q.Name) {
+		t.Fatalf("body leaks the name: %s", body1)
+	}
+}
+
+func TestDigestSensitivity(t *testing.T) {
+	q := testEquation()
+	_, d1, _ := BodyOf(q)
+	changed := *q
+	changed.Csw = "2e-12 * n * n * act"
+	_, d2, _ := BodyOf(&changed)
+	if d1 == d2 {
+		t.Fatal("digest did not change when an equation changed")
+	}
+}
+
+func TestCanonicalIdempotent(t *testing.T) {
+	in := []byte(`{"b": 2, "a": {"z": [3, 1.50, true], "y": "s"}, "c": null}`)
+	c1, err := Canonical(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Canonical(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Fatalf("not idempotent:\n%s\n%s", c1, c2)
+	}
+}
+
+func TestCanonicalRejectsGarbage(t *testing.T) {
+	if _, err := Canonical([]byte("{not json")); err == nil {
+		t.Fatal("want error on bad JSON")
+	}
+}
+
+func TestBodyRoundTrip(t *testing.T) {
+	q := testEquation()
+	body, digest, err := BodyOf(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseBody("local.name", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "local.name" {
+		t.Fatalf("name = %q", back.Name)
+	}
+	body2, digest2, err := BodyOf(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest2 != digest || !bytes.Equal(body, body2) {
+		t.Fatalf("round trip changed content: %s -> %s", digest, digest2)
+	}
+}
+
+func TestParseBodyRejectsNonCompiling(t *testing.T) {
+	if _, err := ParseBody("x", []byte(`{"csw":"1 + * 2"}`)); err == nil {
+		t.Fatal("want compile error")
+	}
+}
+
+func TestSplitRef(t *testing.T) {
+	cases := []struct {
+		ref, name, digest string
+		ok                bool
+	}{
+		{"a@b", "a", "b", true},
+		{"lib.x@deadbeef", "lib.x", "deadbeef", true},
+		{"we@ird@d1", "we@ird", "d1", true},
+		{"noat", "", "", false},
+		{"@d", "", "", false},
+		{"name@", "", "", false},
+	}
+	for _, c := range cases {
+		name, digest, ok := SplitRef(c.ref)
+		if ok != c.ok || name != c.name || digest != c.digest {
+			t.Errorf("SplitRef(%q) = %q, %q, %v; want %q, %q, %v",
+				c.ref, name, digest, ok, c.name, c.digest, c.ok)
+		}
+	}
+	if Ref("a", "b") != "a@b" {
+		t.Error("Ref")
+	}
+}
+
+// scrambleJSON re-encodes v writing object keys in a random order, so
+// we can prove the canonical form (and hence the digest) is invariant
+// under the serializer's key ordering.
+func scrambleJSON(rng *rand.Rand, v any, out *bytes.Buffer) {
+	switch x := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+		out.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				out.WriteByte(',')
+			}
+			kb, _ := json.Marshal(k)
+			out.Write(kb)
+			out.WriteByte(':')
+			scrambleJSON(rng, x[k], out)
+		}
+		out.WriteByte('}')
+	case []any:
+		out.WriteByte('[')
+		for i, e := range x {
+			if i > 0 {
+				out.WriteByte(',')
+			}
+			scrambleJSON(rng, e, out)
+		}
+		out.WriteByte(']')
+	default:
+		b, _ := json.Marshal(x)
+		out.Write(b)
+	}
+}
+
+// FuzzCanonicalMapOrder is the satellite's digest-stability fuzz: any
+// JSON document digests identically no matter what key order (or
+// whitespace) the producer emitted.
+func FuzzCanonicalMapOrder(f *testing.F) {
+	f.Add([]byte(`{"title":"t","params":[{"name":"n","default":4}],"csw":"n*1e-12"}`), int64(1))
+	f.Add([]byte(`{"a":{"b":{"c":[1,2,{"d":3}]}},"e":0.5,"f":null}`), int64(42))
+	f.Add([]byte(`[{"z":1,"a":2},{"m":true}]`), int64(7))
+	f.Fuzz(func(t *testing.T, blob []byte, seed int64) {
+		c1, err := Canonical(blob)
+		if err != nil {
+			t.Skip() // not JSON; nothing to assert
+		}
+		var v any
+		if err := json.Unmarshal(blob, &v); err != nil {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 4; i++ {
+			var scrambled bytes.Buffer
+			scrambleJSON(rng, v, &scrambled)
+			c2, err := Canonical(scrambled.Bytes())
+			if err != nil {
+				t.Fatalf("scrambled form stopped parsing: %v\n%s", err, scrambled.Bytes())
+			}
+			if !bytes.Equal(c1, c2) {
+				t.Fatalf("canonical form depends on key order:\n%s\n%s", c1, c2)
+			}
+			if Digest(c1) != Digest(c2) {
+				t.Fatal("digest depends on key order")
+			}
+		}
+	})
+}

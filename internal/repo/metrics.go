@@ -1,0 +1,28 @@
+package repo
+
+// The repository's instrument families, registered in obs.Default and
+// served by GET /metrics.  The prefix label is the subscription's
+// remote prefix ("lib." etc.) — one per subscription, a small closed
+// set chosen by the operator, never a model name.
+
+import "powerplay/internal/obs"
+
+var (
+	syncRuns = obs.NewCounterVec("powerplay_repo_sync_runs_total",
+		"Mirror sync passes, by outcome (ok: converged; partial: some entries failed; error: catalog unreachable).",
+		"outcome")
+	syncLag = obs.NewGaugeVec("powerplay_repo_sync_lag_seconds",
+		"Seconds since the subscription last converged with its publisher, by prefix.",
+		"prefix")
+	digestChecks = obs.NewCounterVec("powerplay_repo_digest_checks_total",
+		"Publication bodies verified against their advertised digest, by result (match/mismatch).",
+		"result")
+	mirrorModels = obs.NewGaugeVec("powerplay_repo_mirror_models",
+		"Models currently mirrored from a subscribed publisher, by prefix.",
+		"prefix")
+	// MirrorServes is incremented by the web layer each time a
+	// mirrored publication's versioned body is served onward to a
+	// downstream mirror — the mirror-of-a-mirror traffic.
+	MirrorServes = obs.NewCounter("powerplay_repo_mirror_serves_total",
+		"Versioned bodies of mirrored (not locally published) models served to downstream fetchers.")
+)

@@ -1,0 +1,283 @@
+package repo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeSource is a scriptable publisher catalog.
+type fakeSource struct {
+	mu         sync.Mutex
+	entries    []Entry
+	bodies     map[string][]byte // name -> body served for any digest
+	catalogErr error
+	fetchErr   map[string]error
+	fetches    int
+}
+
+func (f *fakeSource) Catalog(ctx context.Context) ([]Entry, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.catalogErr != nil {
+		return nil, f.catalogErr
+	}
+	return append([]Entry(nil), f.entries...), nil
+}
+
+func (f *fakeSource) Fetch(ctx context.Context, name, digest string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fetches++
+	if err := f.fetchErr[name]; err != nil {
+		return nil, err
+	}
+	b, ok := f.bodies[name]
+	if !ok {
+		return nil, errors.New("no such body")
+	}
+	return b, nil
+}
+
+func (f *fakeSource) publish(name string, body []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, err := Canonical(body)
+	if err != nil {
+		panic(err)
+	}
+	if f.bodies == nil {
+		f.bodies = map[string][]byte{}
+	}
+	f.bodies[name] = c
+	d := Digest(c)
+	for i := range f.entries {
+		if f.entries[i].Name == name {
+			f.entries[i].Digest = d
+			return
+		}
+	}
+	f.entries = append(f.entries, Entry{Name: name, Digest: d})
+}
+
+func (f *fakeSource) drop(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.bodies, name)
+	for i := range f.entries {
+		if f.entries[i].Name == name {
+			f.entries = append(f.entries[:i], f.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+// fakeSink records applied publications in memory.
+type fakeSink struct {
+	mu       sync.Mutex
+	state    map[string]string // name -> digest
+	bodies   map[string][]byte
+	applyErr error
+	applies  int
+	removes  int
+}
+
+func newFakeSink() *fakeSink {
+	return &fakeSink{state: map[string]string{}, bodies: map[string][]byte{}}
+}
+
+func (s *fakeSink) Mirrored() map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]string, len(s.state))
+	for k, v := range s.state {
+		out[k] = v
+	}
+	return out
+}
+
+func (s *fakeSink) Apply(name, digest string, body []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.applyErr != nil {
+		return s.applyErr
+	}
+	s.applies++
+	s.state[name] = digest
+	s.bodies[name] = body
+	return nil
+}
+
+func (s *fakeSink) Remove(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.removes++
+	delete(s.state, name)
+	delete(s.bodies, name)
+	return nil
+}
+
+func body(i int) []byte {
+	return []byte(fmt.Sprintf(`{"title":"m%d","csw":"%d * 1e-12"}`, i, i+1))
+}
+
+func TestSyncOnceConverges(t *testing.T) {
+	src := &fakeSource{}
+	src.publish("lib.a", body(1))
+	src.publish("lib.b", body(2))
+	sink := newFakeSink()
+	sy := NewSyncer(src, sink, "lib.", 0)
+
+	st, err := sy.SyncOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Applied != 2 || st.Unchanged != 0 || st.Failed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(sink.state) != 2 {
+		t.Fatalf("mirrored %d models", len(sink.state))
+	}
+
+	// Second pass: nothing changed, nothing fetched.
+	before := src.fetches
+	st, err = sy.SyncOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Applied != 0 || st.Unchanged != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if src.fetches != before {
+		t.Fatalf("idle pass fetched bodies: %d -> %d", before, src.fetches)
+	}
+
+	// Republish one, drop the other: one apply, one remove.
+	src.publish("lib.a", body(99))
+	src.drop("lib.b")
+	st, err = sy.SyncOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Applied != 1 || st.Removed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if _, ok := sink.state["lib.b"]; ok {
+		t.Fatal("removed model still mirrored")
+	}
+}
+
+func TestSyncCatalogErrorKeepsMirror(t *testing.T) {
+	src := &fakeSource{}
+	src.publish("lib.a", body(1))
+	sink := newFakeSink()
+	sy := NewSyncer(src, sink, "lib.", 0)
+	if _, err := sy.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	src.mu.Lock()
+	src.catalogErr = errors.New("publisher dead")
+	src.mu.Unlock()
+	_, err := sy.SyncOnce(context.Background())
+	if err == nil {
+		t.Fatal("want catalog error")
+	}
+	// The mirror is untouched: last digest still serves.
+	if len(sink.state) != 1 || sink.removes != 0 {
+		t.Fatalf("mirror mutated on catalog failure: %+v removes=%d", sink.state, sink.removes)
+	}
+	if st := sy.Status(); st.Last.LastError == "" {
+		t.Fatal("status lost the error")
+	}
+}
+
+func TestSyncDigestMismatchRejected(t *testing.T) {
+	src := &fakeSource{}
+	src.publish("lib.a", body(1))
+	// Corrupt the body after cataloging: digest no longer matches.
+	src.mu.Lock()
+	src.bodies["lib.a"] = []byte(`{"title":"tampered","csw":"1e-12"}`)
+	src.mu.Unlock()
+
+	sink := newFakeSink()
+	sy := NewSyncer(src, sink, "lib.", 0)
+	st, err := sy.SyncOnce(context.Background())
+	if err == nil {
+		t.Fatal("want mismatch error")
+	}
+	if st.Failed != 1 || sink.applies != 0 {
+		t.Fatalf("tampered body installed: %+v applies=%d", st, sink.applies)
+	}
+}
+
+func TestSyncPartialFailureRetriesNextPass(t *testing.T) {
+	src := &fakeSource{fetchErr: map[string]error{"lib.b": errors.New("flaky")}}
+	src.publish("lib.a", body(1))
+	src.publish("lib.b", body(2))
+	sink := newFakeSink()
+	sy := NewSyncer(src, sink, "lib.", 0)
+
+	st, err := sy.SyncOnce(context.Background())
+	if err == nil {
+		t.Fatal("want partial error")
+	}
+	if st.Applied != 1 || st.Failed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Publisher recovers; next pass converges without refetching lib.a.
+	src.mu.Lock()
+	delete(src.fetchErr, "lib.b")
+	src.mu.Unlock()
+	st, err = sy.SyncOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Applied != 1 || st.Unchanged != 1 || st.Failed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(sink.state) != 2 {
+		t.Fatalf("mirror incomplete: %+v", sink.state)
+	}
+}
+
+func TestRunPollsUntilCancelled(t *testing.T) {
+	src := &fakeSource{}
+	src.publish("lib.a", body(1))
+	sink := newFakeSink()
+	sy := NewSyncer(src, sink, "lib.", time.Millisecond)
+
+	var mu sync.Mutex
+	runs := 0
+	done := make(chan struct{})
+	sy.OnSync = func(Stats, error) {
+		mu.Lock()
+		runs++
+		n := runs
+		mu.Unlock()
+		if n == 3 {
+			close(done)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	finished := make(chan struct{})
+	go func() { sy.Run(ctx); close(finished) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run never reached 3 passes")
+	}
+	cancel()
+	select {
+	case <-finished:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not stop on cancel")
+	}
+	if st := sy.Status(); st.SyncCount < 3 || st.Last.Catalog != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+}

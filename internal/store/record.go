@@ -36,6 +36,27 @@ const (
 	// KindRefresh records a re-sync of a mounted prefix (Blob is a
 	// MountSpec); replay folds into the mount set.
 	KindRefresh Kind = "refresh"
+	// KindUnmount removes a mounted prefix (Blob is a MountSpec; only
+	// Prefix matters); replay drops it from the mount set.
+	KindUnmount Kind = "unmount"
+
+	// Repository kinds (PR 10), all site scope: the mirrored slice of
+	// the registry is site state, exactly like locally published models.
+
+	// KindRepoModel installs one mirrored publication: Model is the
+	// local registry name, Origin the publisher's base URL, Blob the
+	// canonical content-addressed body (internal/repo's encoding, no
+	// name inside).  Replay re-registers it without the publisher.
+	KindRepoModel Kind = "repo_model"
+	// KindRepoDrop removes a mirrored publication (Model is the local
+	// name): the publisher unpublished it, or the subscription ended.
+	KindRepoDrop Kind = "repo_drop"
+	// KindRepoSubscribe records a subscription (Blob is a SubSpec);
+	// recovery restarts its sync loop.
+	KindRepoSubscribe Kind = "repo_subscribe"
+	// KindRepoUnsubscribe ends a subscription (Blob is a SubSpec; only
+	// Prefix matters).
+	KindRepoUnsubscribe Kind = "repo_unsubscribe"
 )
 
 // Record is one journal entry: the envelope every mutating operation
@@ -56,11 +77,16 @@ type Record struct {
 	// Mut is the tree edit (KindMutate).
 	Mut *sheet.Mutation `json:"mut,omitempty"`
 	// Blob carries a full serialization: design JSON (KindDesignPut),
-	// equation-model JSON (KindModelPut), or a MountSpec.
+	// equation-model JSON (KindModelPut), a MountSpec, a SubSpec, or a
+	// canonical publication body (KindRepoModel).
 	Blob json.RawMessage `json:"blob,omitempty"`
-	// Model and Values carry a defaults merge (KindDefaults).
+	// Model and Values carry a defaults merge (KindDefaults); Model is
+	// also the local registry name on KindRepoModel/KindRepoDrop.
 	Model  string             `json:"model,omitempty"`
 	Values map[string]float64 `json:"values,omitempty"`
+	// Origin is the publisher base URL a mirrored model came from
+	// (KindRepoModel).
+	Origin string `json:"origin,omitempty"`
 }
 
 // MountSpec identifies a mounted remote library.  The site key is
@@ -69,6 +95,17 @@ type Record struct {
 type MountSpec struct {
 	URL    string `json:"url"`
 	Prefix string `json:"prefix"`
+}
+
+// SubSpec identifies a repository subscription: mirror the catalog of
+// URL's registry, registering each publication locally as
+// Prefix+name.  Filter, when set, narrows the catalog to publisher
+// names with that prefix (the registry's `?prefix=` parameter).  Like
+// MountSpec, the site key is never persisted.
+type SubSpec struct {
+	URL    string `json:"url"`
+	Prefix string `json:"prefix"`
+	Filter string `json:"filter,omitempty"`
 }
 
 // UserSnapshot is one user's full state: what a snapshot file holds
@@ -90,8 +127,14 @@ type DesignSnapshot struct {
 }
 
 // SiteSnapshot is the site-scope state: user-defined equation models
-// (a library.DumpEquations blob) and the mounted remote libraries.
+// (a library.DumpEquations blob — mirrored publications are Equation
+// models too, so they ride in the same blob), the mounted remote
+// libraries, the repository subscriptions, and which models in the
+// blob are mirrors (local name → publisher URL; their digests are
+// recomputed from content at boot, never persisted).
 type SiteSnapshot struct {
-	Models json.RawMessage `json:"models,omitempty"`
-	Mounts []MountSpec     `json:"mounts,omitempty"`
+	Models        json.RawMessage   `json:"models,omitempty"`
+	Mounts        []MountSpec       `json:"mounts,omitempty"`
+	Subs          []SubSpec         `json:"subs,omitempty"`
+	MirrorOrigins map[string]string `json:"mirror_origins,omitempty"`
 }

@@ -31,6 +31,14 @@ type RecoveredState struct {
 	// for the server to re-mount best-effort (keys are never
 	// persisted; the running configuration supplies them).
 	Mounts []MountSpec
+	// Subs are the repository subscriptions to resume: their mirrored
+	// models are already registered (from the snapshot blob and
+	// repo_model records), so resuming is starting the poll loop, not
+	// refetching.
+	Subs []SubSpec
+	// MirrorOrigins marks which registered models are mirrored
+	// publications: local name → publisher base URL.
+	MirrorOrigins map[string]string
 	// Stats summarizes the recovery for healthz and the boot log.
 	Stats RecoveryStats
 }
@@ -186,6 +194,9 @@ func (st *Store) recoverSite(reg *model.Registry, out *RecoveredState) error {
 	}
 	mounts := make(map[string]MountSpec)
 	var order []string
+	subs := make(map[string]SubSpec)
+	var subOrder []string
+	out.MirrorOrigins = make(map[string]string)
 	if snapPayload != nil {
 		var snap SiteSnapshot
 		if err := json.Unmarshal(snapPayload, &snap); err != nil {
@@ -193,6 +204,8 @@ func (st *Store) recoverSite(reg *model.Registry, out *RecoveredState) error {
 			slog.Warn("store: undecodable site snapshot", "err", err)
 		} else {
 			if len(snap.Models) > 0 {
+				// Mirrored publications are Equation models and ride in
+				// the same blob, so they come back without the publisher.
 				if _, err := library.LoadEquations(reg, snap.Models); err != nil {
 					out.Stats.ReplayErrors++
 					slog.Warn("store: site snapshot models failed to load", "err", err)
@@ -203,6 +216,15 @@ func (st *Store) recoverSite(reg *model.Registry, out *RecoveredState) error {
 					order = append(order, m.Prefix)
 				}
 				mounts[m.Prefix] = m
+			}
+			for _, sp := range snap.Subs {
+				if _, seen := subs[sp.Prefix]; !seen {
+					subOrder = append(subOrder, sp.Prefix)
+				}
+				subs[sp.Prefix] = sp
+			}
+			for name, origin := range snap.MirrorOrigins {
+				out.MirrorOrigins[name] = origin
 			}
 		}
 	}
@@ -237,13 +259,71 @@ func (st *Store) recoverSite(reg *model.Registry, out *RecoveredState) error {
 				order = append(order, m.Prefix)
 			}
 			mounts[m.Prefix] = m
+		case KindUnmount:
+			var m MountSpec
+			if err := json.Unmarshal(r.Blob, &m); err != nil {
+				out.Stats.ReplayErrors++
+				slog.Warn("store: bad unmount record", "err", err)
+				continue
+			}
+			delete(mounts, m.Prefix)
+		case KindRepoModel:
+			// The blob is a canonical publication body: valid Equation
+			// JSON minus the name, which the record carries.
+			var q library.Equation
+			if err := json.Unmarshal(r.Blob, &q); err != nil {
+				out.Stats.ReplayErrors++
+				slog.Warn("store: bad repo_model record", "model", r.Model, "err", err)
+				continue
+			}
+			q.Name = r.Model
+			if err := q.Compile(); err != nil {
+				out.Stats.ReplayErrors++
+				slog.Warn("store: recovered mirror does not compile", "model", r.Model, "err", err)
+				continue
+			}
+			if err := reg.Register(&q); err != nil {
+				out.Stats.ReplayErrors++
+				slog.Warn("store: recovered mirror rejected by registry", "model", r.Model, "err", err)
+				continue
+			}
+			out.MirrorOrigins[r.Model] = r.Origin
+		case KindRepoDrop:
+			reg.Unregister(r.Model)
+			delete(out.MirrorOrigins, r.Model)
+		case KindRepoSubscribe:
+			var sp SubSpec
+			if err := json.Unmarshal(r.Blob, &sp); err != nil {
+				out.Stats.ReplayErrors++
+				slog.Warn("store: bad repo_subscribe record", "err", err)
+				continue
+			}
+			if _, seen := subs[sp.Prefix]; !seen {
+				subOrder = append(subOrder, sp.Prefix)
+			}
+			subs[sp.Prefix] = sp
+		case KindRepoUnsubscribe:
+			var sp SubSpec
+			if err := json.Unmarshal(r.Blob, &sp); err != nil {
+				out.Stats.ReplayErrors++
+				slog.Warn("store: bad repo_unsubscribe record", "err", err)
+				continue
+			}
+			delete(subs, sp.Prefix)
 		default:
 			out.Stats.ReplayErrors++
 			slog.Warn("store: unexpected record kind in site journal", "kind", r.Kind)
 		}
 	}
 	for _, p := range order {
-		out.Mounts = append(out.Mounts, mounts[p])
+		if m, ok := mounts[p]; ok {
+			out.Mounts = append(out.Mounts, m)
+		}
+	}
+	for _, p := range subOrder {
+		if sp, ok := subs[p]; ok {
+			out.Subs = append(out.Subs, sp)
+		}
 	}
 	return nil
 }

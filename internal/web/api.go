@@ -134,13 +134,27 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
+// apiModels lists the library, honoring the shared listing parameters
+// (?prefix=, ?cursor=, ?limit= — see paginate).  The body stays the
+// bare sorted array the pre-pagination clients read; a truncated page
+// advertises its continuation in the Link: rel="next" header, so old
+// consumers that never send ?limit= still get everything.
 func (s *Server) apiModels(w http.ResponseWriter, r *http.Request) {
-	var out []ModelSummary
-	for _, name := range s.registry.Names() {
-		m, _ := s.registry.Lookup(name)
+	page, next, err := paginate(r, s.registry.Names())
+	if err != nil {
+		apiFail(w, r, http.StatusBadRequest, codeBadRequest, err.Error())
+		return
+	}
+	out := []ModelSummary{}
+	for _, name := range page {
+		m, ok := s.registry.Lookup(name)
+		if !ok {
+			continue
+		}
 		info := m.Info()
 		out = append(out, ModelSummary{Name: name, Title: info.Title, Class: string(info.Class)})
 	}
+	linkNext(w, r, next)
 	writeJSON(w, http.StatusOK, out)
 }
 

@@ -65,9 +65,18 @@ func apiFail(w http.ResponseWriter, r *http.Request, status int, code, msg strin
 func (s *Server) apiRoutes(handle func(pattern string, h http.HandlerFunc)) {
 	// The versioned surface.
 	handle("GET /api/v1/models", s.apiAuth(s.apiModels))
+	handle("POST /api/v1/models", s.apiAuth(s.apiModelPublish))
 	handle("GET /api/v1/models/{name...}", s.apiAuth(s.apiModelInfo))
 	handle("POST /api/v1/eval", s.apiAuth(s.apiEval))
 	handle("GET /api/v1/equations", s.apiAuth(s.apiEquations))
+	// The model repository (see registry.go / federation.go): the
+	// content-addressed catalog, immutable versioned bodies, and mount
+	// management over JSON.
+	handle("GET /api/v1/registry", s.apiAuth(s.apiRegistry))
+	handle("GET /api/v1/registry/models/{ref...}", s.apiAuth(s.apiRegistryModel))
+	handle("GET /api/v1/mounts", s.apiAuth(s.apiMounts))
+	handle("POST /api/v1/mounts", s.apiAuth(s.apiMountCreate))
+	handle("DELETE /api/v1/mounts/{prefix...}", s.apiAuth(s.apiMountDelete))
 	// Internal shard replication (router fan-out of site models; see
 	// shard.go).  Site-key guarded like the rest of the machine API.
 	handle("POST /api/v1/shard/model", s.apiAuth(s.apiShardModelPut))
@@ -82,13 +91,19 @@ func (s *Server) apiRoutes(handle func(pattern string, h http.HandlerFunc)) {
 	handle("GET /api/equations", deprecated(s.apiAuth(s.apiEquations)))
 }
 
+// aliasSunset is the announced removal date of the unversioned /api/...
+// aliases, advertised on every alias response (RFC 8594).
+const aliasSunset = "Mon, 01 Jun 2026 00:00:00 GMT"
+
 // deprecated wraps a legacy /api/... alias: same handler, same answer,
-// plus the RFC 9745 Deprecation header and a successor-version link
-// pointing at the /api/v1 path the caller should move to.
+// plus the RFC 9745 Deprecation header, the RFC 8594 Sunset date, and
+// a successor-version link pointing at the /api/v1 path the caller
+// should move to.
 func deprecated(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		successor := "/api/v1" + strings.TrimPrefix(r.URL.Path, "/api")
 		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Sunset", aliasSunset)
 		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
 		h(w, r)
 	}
@@ -134,6 +149,9 @@ type healthResponse struct {
 	Shard             *healthShard      `json:"shard,omitempty"`
 	Remotes           []healthRemote    `json:"remotes,omitempty"`
 	Durability        *healthDurability `json:"durability,omitempty"`
+	// Repo lists the repository subscriptions this site mirrors: per
+	// prefix, the publisher, its breaker, and the last sync pass.
+	Repo []healthRepoSub `json:"repo,omitempty"`
 }
 
 // apiHealthz is the liveness endpoint: it answers 200 whenever the
@@ -195,5 +213,6 @@ func (s *Server) apiHealthz(w http.ResponseWriter, r *http.Request) {
 	for _, hr := range order {
 		resp.Remotes = append(resp.Remotes, *hr)
 	}
+	resp.Repo = s.repoHealth()
 	writeJSON(w, http.StatusOK, resp)
 }

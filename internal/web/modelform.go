@@ -102,11 +102,9 @@ func (s *Server) handleModelCreate(w http.ResponseWriter, r *http.Request, u *Us
 		fail(err)
 		return
 	}
-	if err := s.checkModelOverwrite(q.Name); err != nil {
-		fail(err)
-		return
-	}
-	if err := s.persistSiteModel(q); err != nil {
+	// The form is a thin wrapper over the one publish path the JSON
+	// API uses (registry.go), so both enforce identical rules.
+	if _, err := s.publishModel(q); err != nil {
 		fail(err)
 		return
 	}

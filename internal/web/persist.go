@@ -61,6 +61,15 @@ func (s *Server) openStore() error {
 		s.users[name] = &User{Name: acct.Name, Defaults: acct.Defaults, Designs: acct.Designs}
 	}
 	s.mounts = recovered.Mounts
+	// Federation state: mirrored models are already re-registered (the
+	// replay above), so only the bookkeeping lands here.  The sync
+	// loops themselves start when the boot sequence calls
+	// ResumeSubscriptions — never during construction, so tests and
+	// library users get no surprise goroutines.
+	for name, origin := range recovered.MirrorOrigins {
+		s.pubs.origins[name] = origin
+	}
+	s.recoveredSubs = recovered.Subs
 	s.lastRecovery = &recovered.Stats
 	if recovered.Stats.RecordsReplayed > 0 || recovered.Stats.SnapshotsLoaded > 0 ||
 		len(recovered.Accounts) > 0 {
@@ -203,7 +212,8 @@ func (s *Server) snapshotUser(u *User) error {
 }
 
 // snapshotSite writes the site-scope snapshot: user-defined equation
-// models plus the mount table.
+// models (mirrored publications ride the same blob), the mount table,
+// and the federation state (subscriptions and mirror origins).
 func (s *Server) snapshotSite() error {
 	if s.store == nil {
 		return nil
@@ -215,7 +225,10 @@ func (s *Server) snapshotSite() error {
 	s.mu.RLock()
 	mounts := append([]store.MountSpec(nil), s.mounts...)
 	s.mu.RUnlock()
-	return s.store.SnapshotSite(&store.SiteSnapshot{Models: blob, Mounts: mounts})
+	subs, origins := s.mirrorSnapshot()
+	return s.store.SnapshotSite(&store.SiteSnapshot{
+		Models: blob, Mounts: mounts, Subs: subs, MirrorOrigins: origins,
+	})
 }
 
 // Close drains the durability layer: a final snapshot of every user
@@ -224,6 +237,9 @@ func (s *Server) snapshotSite() error {
 // still hold unsnapshotted records (replayable on next boot) and the
 // caller should exit loudly and non-zero.
 func (s *Server) Close() error {
+	// Stop the subscription sync loops first, so no background pass
+	// journals a mirror while the final snapshots run.
+	s.stopSubscriptions()
 	if s.store == nil {
 		return nil
 	}

@@ -93,6 +93,9 @@ type Config struct {
 	// folds the journal into a snapshot; zero selects the store's
 	// default (512 records).
 	SnapshotEvery int
+	// SyncInterval paces each repository subscription's digest-diff
+	// poll loop (see internal/repo); zero selects repo.DefaultInterval.
+	SyncInterval time.Duration
 	// ShardID and ShardCount make this server one backend of a sharded
 	// fleet (see internal/shard): it owns only the users the rendezvous
 	// hash assigns to shard ShardID of ShardCount, recovers only their
@@ -164,6 +167,15 @@ type Server struct {
 	// mounts is the live remote-mount table, journaled so a restarted
 	// site can re-mount.  Guarded by mu.
 	mounts []store.MountSpec
+
+	// pubs is the content-addressed view of the registry — the
+	// publication index behind /api/v1/registry — and the home of the
+	// federation state: mirror origins and live subscriptions (see
+	// registry.go and federation.go).
+	pubs *pubIndex
+	// recoveredSubs holds the subscriptions boot recovery found, until
+	// ResumeSubscriptions consumes them.
+	recoveredSubs []store.SubSpec
 }
 
 // sweepCacheEntry ties a point cache to the design snapshot it was
@@ -195,6 +207,7 @@ func NewServer(cfg Config, reg *model.Registry) (*Server, error) {
 		sweepCaches: newLRU[*sweepCacheEntry](cfg.cacheEntries()),
 		readCaches:  newLRU[*readEntry](cfg.cacheEntries()),
 		started:     time.Now(),
+		pubs:        newPubIndex(),
 	}
 	if cfg.ShardCount > 0 {
 		// Built before openStore: recovery filters the on-disk user
